@@ -1,0 +1,220 @@
+package graphpi
+
+// This file wires every table and figure of the paper's evaluation into
+// `go test -bench`. Each benchmark regenerates one artifact via
+// internal/experiments at a reduced dataset scale with a per-cell budget
+// (cells that exceed it report "T", like the paper's 48-hour cutoff), and
+// reports the artifact's headline relative metric with b.ReportMetric.
+// Run a single artifact with e.g.:
+//
+//	go test -bench Fig8 -benchtime 1x -v
+//
+// Absolute ns/op numbers measure this machine, not Tianhe-2A; the reported
+// custom metrics (speedup factors, oracle ratios) are the reproduction
+// targets. cmd/experiments runs the same drivers at full scale.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"graphpi/internal/experiments"
+)
+
+// benchOpts keeps every artifact regeneration in the minutes range.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Scale:        0.03,
+		Workers:      0, // GOMAXPROCS
+		CellBudget:   time.Second,
+		MaxSchedules: 8,
+	}
+}
+
+func logReport(b *testing.B, r experiments.Writeable) {
+	b.Helper()
+	var buf bytes.Buffer
+	r.Report(&buf)
+	b.Log("\n" + buf.String())
+}
+
+// BenchmarkTable1DatasetStats regenerates Table I (dataset statistics).
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			logReport(b, res)
+		}
+	}
+}
+
+// BenchmarkFig2bScheduleRestrictionCombos regenerates Figure 2(b): the
+// motivating spread between schedule × restriction combinations for the
+// House pattern. Metric worst/best is the paper's "up to 23.2x".
+func BenchmarkFig2bScheduleRestrictionCombos(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig2b(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = res.BestOverWorst
+		if i == 0 {
+			logReport(b, res)
+		}
+	}
+	b.ReportMetric(ratio, "worst/best")
+}
+
+// BenchmarkFig8OverallComparison regenerates Figure 8: GraphPi vs the
+// reproduced GraphZero vs the Fractal-style baseline across 6 patterns × 5
+// graphs. Metrics are geometric-mean speedups (paper: up to 105x over
+// GraphZero, up to 154x over Fractal on single cells).
+func BenchmarkFig8OverallComparison(b *testing.B) {
+	var gz, fr float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		gz, fr = res.GeoSpeedupGZ, res.GeoSpeedupFractal
+		if i == 0 {
+			logReport(b, res)
+		}
+	}
+	b.ReportMetric(gz, "xGraphZero")
+	b.ReportMetric(fr, "xFractal")
+}
+
+// BenchmarkTable2RestrictionSets regenerates Table II: the speedup from
+// GraphPi's model-chosen restriction set over GraphZero's single set on the
+// same schedule (paper: avg up to 2.46x, max 7.82x).
+func BenchmarkTable2RestrictionSets(b *testing.B) {
+	var maxSp float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.MaxSpeedup > maxSp {
+				maxSp = row.MaxSpeedup
+			}
+		}
+		if i == 0 {
+			logReport(b, res)
+		}
+	}
+	b.ReportMetric(maxSp, "maxSpeedup")
+}
+
+// BenchmarkFig9ScheduleSpace regenerates Figure 9: the schedule space of P3
+// with eliminated/generated marking and both systems' picks. Metric is
+// GraphPi's pick relative to the measured oracle (paper: 1.22x).
+func BenchmarkFig9ScheduleSpace(b *testing.B) {
+	opt := benchOpts()
+	opt.CellBudget = 5 * time.Second
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Oracle.Seconds > 0 {
+			ratio = res.GraphPiPick.Seconds / res.Oracle.Seconds
+		}
+		if i == 0 {
+			logReport(b, res)
+		}
+	}
+	b.ReportMetric(ratio, "pick/oracle")
+}
+
+// BenchmarkFig10IEP regenerates Figure 10: counting with vs without the
+// Inclusion-Exclusion Principle (paper: 4.3x–457.8x by pattern, peak
+// 1110.5x).
+func BenchmarkFig10IEP(b *testing.B) {
+	var best float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range res.Cells {
+			if !c.NoIEP.TimedOut && !c.WithIEP.TimedOut && c.WithIEP.Seconds > 0 {
+				if sp := c.NoIEP.Seconds / c.WithIEP.Seconds; sp > best {
+					best = sp
+				}
+			}
+		}
+		if i == 0 {
+			logReport(b, res)
+		}
+	}
+	b.ReportMetric(best, "maxIEPspeedup")
+}
+
+// BenchmarkFig11ModelAccuracy regenerates Figure 11: the model-selected
+// schedule vs the measured oracle per pattern (paper: geomean 1.32x).
+func BenchmarkFig11ModelAccuracy(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown = res.AvgSlowdown
+		if i == 0 {
+			logReport(b, res)
+		}
+	}
+	b.ReportMetric(slowdown, "selected/oracle")
+}
+
+// BenchmarkFig12Scalability regenerates Figure 12: speedup curves of the
+// simulated distributed runtime on Orkut-S (all patterns) and Twitter-S
+// (P2, P3). The metric is the best speedup observed at the largest node
+// count.
+func BenchmarkFig12Scalability(b *testing.B) {
+	nodes := []int{1, 2, 4}
+	var best float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(benchOpts(), nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range res.Points {
+			if pt.Nodes == nodes[len(nodes)-1] && pt.Speedup > best {
+				best = pt.Speedup
+			}
+		}
+		if i == 0 {
+			logReport(b, res)
+		}
+	}
+	b.ReportMetric(best, "speedup@4nodes")
+}
+
+// BenchmarkTable3Preprocessing regenerates Table III: per-pattern
+// preprocessing and configuration-generation overhead (paper: 8ms–2.53s).
+func BenchmarkTable3Preprocessing(b *testing.B) {
+	var worst time.Duration
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Overhead > worst {
+				worst = row.Overhead
+			}
+		}
+		if i == 0 {
+			logReport(b, res)
+		}
+	}
+	b.ReportMetric(worst.Seconds(), "maxPrepSec")
+}

@@ -1,0 +1,51 @@
+// Command experiments regenerates the paper's evaluation tables and figures
+// against the synthetic dataset stand-ins.
+//
+// Usage:
+//
+//	experiments -run all                      # every experiment, paper order
+//	experiments -run fig8 -budget 30s         # one experiment, 30s/cell cutoff
+//	experiments -run fig9 -scale 0.25 -max 50 # smaller data, fewer schedules
+//
+// Output is the row/series structure of the corresponding paper artifact;
+// cells whose measurement exceeds -budget print as "T", mirroring the
+// paper's 48-hour cutoff.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"graphpi/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment to run: all | "+strings.Join(experiments.Names(), " | "))
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default reproduction size)")
+		workers = flag.Int("workers", 0, "goroutines per measurement (0 = GOMAXPROCS)")
+		budget  = flag.Duration("budget", 60*time.Second, "per-cell time budget (0 = unlimited)")
+		maxSch  = flag.Int("max-schedules", 0, "cap schedule sweeps in fig9/fig11/table2 (0 = all)")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{
+		Scale:        *scale,
+		Workers:      *workers,
+		CellBudget:   *budget,
+		MaxSchedules: *maxSch,
+	}
+	var err error
+	if *run == "all" {
+		err = experiments.RunAll(opt, os.Stdout)
+	} else {
+		err = experiments.Run(*run, opt, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,45 @@
+// Clique census: count k-cliques for k = 3..6 across datasets.
+//
+// Clique counting is the classic special case of pattern matching (the
+// paper's 7-clique example has 5,040 automorphisms per embedding — the
+// redundancy Algorithm 1 eliminates). This example shows how the planner's
+// chosen restriction chain turns K_k counting into the standard ordered
+// enumeration, and how counts explode with k on clustered graphs.
+//
+// Run with:
+//
+//	go run ./examples/cliquecensus
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"graphpi"
+)
+
+func main() {
+	for _, name := range []string{"WikiVote-S", "MiCo-S", "Patents-S"} {
+		g, err := graphpi.LoadDataset(name, 0.1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %s\n", name, g.StatsString())
+		for k := 3; k <= 6; k++ {
+			p := graphpi.Clique(k)
+			plan, err := graphpi.NewPlan(g, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			start := time.Now()
+			count := plan.CountIEP()
+			fmt.Printf("  K%d: %12d cliques in %8v   (%s)\n",
+				k, count, time.Since(start).Round(time.Microsecond), plan.Describe())
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note how every K_k plan uses a full restriction chain " +
+		"id(v0)>id(v1)>…>id(v_{k-1}): the k! automorphisms of a clique " +
+		"collapse to a single ordered enumeration.")
+}

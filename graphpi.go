@@ -1,0 +1,414 @@
+// Package graphpi is a pure-Go implementation of GraphPi, the graph pattern
+// matching system of Shi et al., "GraphPi: High Performance Graph Pattern
+// Matching through Effective Redundancy Elimination" (SC 2020).
+//
+// GraphPi finds (or counts) all embeddings of a small pattern graph in a
+// large data graph. Its performance comes from three ideas, all implemented
+// here:
+//
+//   - 2-cycle based automorphism elimination generates many alternative
+//     restriction sets, each of which makes every embedding be found exactly
+//     once (§IV-A);
+//   - a 2-phase schedule generator and an accurate performance model pick
+//     the best combination of search order and restriction set for the
+//     input graph's statistics (§IV-B/C);
+//   - counting-only workloads replace the innermost loops with an
+//     Inclusion-Exclusion computation (§IV-D).
+//
+// Quick start:
+//
+//	g, _ := graphpi.LoadDataset("WikiVote-S", 1.0)
+//	p := graphpi.House()
+//	plan, _ := graphpi.NewPlan(g, p)
+//	fmt.Println(plan.CountIEP())
+//
+// See the examples directory for complete programs and DESIGN.md for how
+// each paper experiment maps onto this library.
+package graphpi
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"graphpi/internal/approx"
+	"graphpi/internal/cluster"
+	"graphpi/internal/codegen"
+	"graphpi/internal/core"
+	"graphpi/internal/dataset"
+	"graphpi/internal/graph"
+	"graphpi/internal/labeled"
+	"graphpi/internal/pattern"
+)
+
+// Graph is an immutable undirected data graph in CSR form.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return g.g.NumVertices() }
+
+// NumEdges returns |E| (each undirected edge counted once).
+func (g *Graph) NumEdges() int64 { return g.g.NumEdges() }
+
+// Triangles returns the triangle count (computed once, then cached).
+func (g *Graph) Triangles() int64 { return g.g.Triangles() }
+
+// Name returns the dataset label, if any.
+func (g *Graph) Name() string { return g.g.Name() }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v uint32) int { return g.g.Degree(v) }
+
+// Neighbors returns the ascending neighbor list of v (read-only view).
+func (g *Graph) Neighbors(v uint32) []uint32 { return g.g.Neighbors(v) }
+
+// HasEdge reports whether the undirected edge {u,v} exists.
+func (g *Graph) HasEdge(u, v uint32) bool { return g.g.HasEdge(u, v) }
+
+// StatsString renders |V|, |E|, triangle count and degree statistics.
+func (g *Graph) StatsString() string { return g.g.Stats().String() }
+
+// NewGraph builds a graph with n vertices from an undirected edge list.
+func NewGraph(n int, edges [][2]uint32) (*Graph, error) {
+	gg, err := graph.FromEdges(n, edges)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: gg}, nil
+}
+
+// LoadGraph reads a graph from disk, auto-detecting the binary snapshot
+// format (written by SaveBinary) versus whitespace edge-list text.
+func LoadGraph(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, _ := br.Peek(7)
+	if strings.HasPrefix(string(head), "GPiCSR") {
+		gg, err := graph.ReadBinary(br)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &Graph{g: gg}, nil
+	}
+	gg, err := graph.ReadEdgeList(br)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Graph{g: gg}, nil
+}
+
+// ReadGraph parses an edge list from r.
+func ReadGraph(r io.Reader) (*Graph, error) {
+	gg, err := graph.ReadEdgeList(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: gg}, nil
+}
+
+// SaveBinary writes the fast binary snapshot format.
+func (g *Graph) SaveBinary(path string) error { return graph.SaveBinaryFile(path, g.g) }
+
+// LoadDataset builds one of the six named synthetic stand-in datasets
+// reproducing the paper's Table I (see internal/dataset). scale 1.0 is the
+// default reproduction size; smaller values shrink the graph approximately
+// proportionally. Datasets are cached in-process.
+func LoadDataset(name string, scale float64) (*Graph, error) {
+	gg, err := dataset.Load(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: gg}, nil
+}
+
+// DatasetNames lists the available dataset stand-ins.
+func DatasetNames() []string { return dataset.SortedNames() }
+
+// GenerateBA returns a Barabási–Albert preferential-attachment graph
+// (power-law, clustered — a social-network regime).
+func GenerateBA(n, edgesPerVertex int, seed uint64) *Graph {
+	return &Graph{g: graph.BarabasiAlbert(n, edgesPerVertex, seed)}
+}
+
+// GenerateGNM returns a uniform G(n,m) random graph.
+func GenerateGNM(n, m int, seed uint64) *Graph {
+	return &Graph{g: graph.GNM(n, m, seed)}
+}
+
+// GenerateRMAT returns an RMAT graph with 2^scale vertices (heavy skew).
+func GenerateRMAT(scale, edges int, seed uint64) *Graph {
+	return &Graph{g: graph.RMAT(scale, edges, 0.57, 0.19, 0.19, seed)}
+}
+
+// Pattern is a small undirected query graph.
+type Pattern struct {
+	p *pattern.Pattern
+}
+
+// NewPattern builds a pattern with n vertices from an edge list.
+func NewPattern(n int, edges [][2]int, name string) (*Pattern, error) {
+	pp, err := pattern.New(n, edges, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{p: pp}, nil
+}
+
+// PatternFromAdjacency parses the row-major 0/1 adjacency-matrix string
+// format used by the GraphPi reference implementation.
+func PatternFromAdjacency(n int, matrix, name string) (*Pattern, error) {
+	pp, err := pattern.ParseAdjacency(n, matrix, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{p: pp}, nil
+}
+
+// N returns the number of pattern vertices.
+func (p *Pattern) N() int { return p.p.N() }
+
+// NumEdges returns the number of pattern edges.
+func (p *Pattern) NumEdges() int { return p.p.NumEdges() }
+
+// Name returns the pattern's display name.
+func (p *Pattern) Name() string { return p.p.Name() }
+
+// String renders "Name(nv,me)".
+func (p *Pattern) String() string { return p.p.String() }
+
+// Named patterns. Triangle, Rectangle, Pentagon, House and Cycle6Tri are
+// the paper's worked examples; P1–P6 are the evaluation suite of Figure 7.
+func Triangle() *Pattern  { return &Pattern{p: pattern.Triangle()} }
+func Rectangle() *Pattern { return &Pattern{p: pattern.Rectangle()} }
+func Pentagon() *Pattern  { return &Pattern{p: pattern.Pentagon()} }
+func House() *Pattern     { return &Pattern{p: pattern.House()} }
+func Cycle6Tri() *Pattern { return &Pattern{p: pattern.Cycle6Tri()} }
+
+// Clique returns the complete pattern K_n (n ≤ 12).
+func Clique(n int) *Pattern { return &Pattern{p: pattern.Clique(n)} }
+
+// EvaluationPatterns returns P1–P6, the suite used throughout the paper's
+// evaluation section.
+func EvaluationPatterns() []*Pattern {
+	ps := pattern.EvaluationPatterns()
+	out := make([]*Pattern, len(ps))
+	for i, p := range ps {
+		out[i] = &Pattern{p: p}
+	}
+	return out
+}
+
+// Motifs returns all connected patterns with n vertices up to isomorphism
+// (n ≤ 5 recommended) — the motif-counting workload.
+func Motifs(n int) []*Pattern {
+	ps := pattern.AllConnected(n)
+	out := make([]*Pattern, len(ps))
+	for i, p := range ps {
+		out[i] = &Pattern{p: p}
+	}
+	return out
+}
+
+// Option configures planning and execution.
+type Option func(*options)
+
+type options struct {
+	workers   int
+	chunkSize int
+	maxSets   int
+	baseline  bool
+}
+
+// WithWorkers sets the number of worker goroutines (default: GOMAXPROCS).
+func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
+
+// WithChunkSize sets the outer-loop task granularity.
+func WithChunkSize(n int) Option { return func(o *options) { o.chunkSize = n } }
+
+// WithMaxRestrictionSets caps Algorithm 1's restriction-set family size.
+func WithMaxRestrictionSets(n int) Option { return func(o *options) { o.maxSets = n } }
+
+// WithGraphZeroBaseline plans like the reproduced GraphZero baseline
+// (single restriction set, Phase-1 schedules, degree-only cost model).
+func WithGraphZeroBaseline() Option { return func(o *options) { o.baseline = true } }
+
+// Plan is a compiled, ready-to-run matching configuration for one
+// (graph, pattern) pair.
+type Plan struct {
+	g    *Graph
+	cfg  *core.Config
+	prep time.Duration
+	opts options
+}
+
+// NewPlan runs GraphPi's preprocessing — restriction generation, schedule
+// generation and performance prediction — and returns the selected optimal
+// configuration bound to the graph.
+func NewPlan(g *Graph, p *Pattern, opts ...Option) (*Plan, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	var (
+		res *core.PlanResult
+		err error
+	)
+	if o.baseline {
+		res, err = core.PlanGraphZero(p.p, g.g.Stats())
+	} else {
+		res, err = core.Plan(p.p, g.g.Stats(), core.PlanOptions{MaxRestrictionSets: o.maxSets})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{g: g, cfg: res.Best, prep: res.PrepTime, opts: o}, nil
+}
+
+// Count enumerates the full loop nest and returns the number of embeddings.
+func (pl *Plan) Count() int64 {
+	return pl.cfg.Count(pl.g.g, pl.runOptions())
+}
+
+// CountIEP counts with the Inclusion-Exclusion optimization. For counting
+// workloads this is the method to use; it returns the same number as Count.
+func (pl *Plan) CountIEP() int64 {
+	return pl.cfg.CountIEP(pl.g.g, pl.runOptions())
+}
+
+// Enumerate calls visit for every embedding. The slice is indexed by
+// pattern vertex and reused; copy it to retain. With multiple workers visit
+// runs concurrently. Return false to stop early. Returns the number of
+// embeddings visited.
+func (pl *Plan) Enumerate(visit func(embedding []uint32) bool) int64 {
+	return pl.cfg.Enumerate(pl.g.g, pl.runOptions(), visit)
+}
+
+// PrepTime returns the preprocessing (configuration generation plus
+// performance prediction) duration — the paper's Table III quantity.
+func (pl *Plan) PrepTime() time.Duration { return pl.prep }
+
+// PredictedCost returns the performance model's cost estimate for the
+// selected configuration (relative units).
+func (pl *Plan) PredictedCost() float64 { return pl.cfg.Cost }
+
+// Describe renders the chosen schedule and restriction set.
+func (pl *Plan) Describe() string {
+	return fmt.Sprintf("schedule %s, restrictions %s, predicted cost %.4g, IEP k=%d",
+		pl.cfg.Schedule, pl.cfg.Restrictions, pl.cfg.Cost, pl.cfg.KIEP())
+}
+
+func (pl *Plan) runOptions() core.RunOptions {
+	return core.RunOptions{Workers: pl.opts.workers, ChunkSize: pl.opts.chunkSize}
+}
+
+// GenerateSource emits the plan's configuration as a standalone Go program
+// (the paper's code-generation stage, Figure 3): a self-contained main
+// package that loads an edge-list graph from argv[1], runs the hard-coded
+// loop nest with the plan's restrictions, and prints the embedding count.
+func (pl *Plan) GenerateSource() (string, error) {
+	return codegen.GenerateSource(pl.cfg)
+}
+
+// Count is the one-shot convenience API: plan and count with IEP.
+func Count(g *Graph, p *Pattern, opts ...Option) (int64, error) {
+	pl, err := NewPlan(g, p, opts...)
+	if err != nil {
+		return 0, err
+	}
+	return pl.CountIEP(), nil
+}
+
+// ClusterOptions configures a simulated distributed run (paper §IV-E).
+type ClusterOptions struct {
+	// Nodes is the number of simulated compute nodes (MPI ranks).
+	Nodes int
+	// WorkersPerNode is the number of worker goroutines per node.
+	WorkersPerNode int
+	// UseIEP enables Inclusion-Exclusion counting.
+	UseIEP bool
+}
+
+// ClusterResult reports a simulated distributed run.
+type ClusterResult struct {
+	Count   int64
+	Elapsed time.Duration
+	// TasksPerNode is how many tasks each simulated node executed (load
+	// balance evidence).
+	TasksPerNode []int64
+	// Steals is the total number of cross-node task steals.
+	Steals int64
+}
+
+// EstimateCount approximates the embedding count with an ASAP-style
+// Horvitz–Thompson sampler (unbiased; accuracy degrades for rare patterns —
+// the trade-off the paper discusses in §II). samples controls the
+// latency/accuracy balance; the result is deterministic for a fixed seed.
+func EstimateCount(g *Graph, p *Pattern, samples int, seed uint64, opts ...Option) (float64, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return approx.Estimate(g.g, p.p, approx.Options{
+		Samples: samples,
+		Seed:    seed,
+		Workers: o.workers,
+	})
+}
+
+// VertexLabel is a data- or pattern-vertex label for labeled matching.
+type VertexLabel = labeled.Label
+
+// WildcardLabel matches any data-vertex label in a labeled pattern.
+const WildcardLabel = labeled.Wildcard
+
+// CountLabeled counts embeddings of a vertex-labeled pattern:
+// patternLabels[i] constrains pattern vertex i (WildcardLabel = no
+// constraint) and vertexLabels[v] is the label of data vertex v. See
+// internal/labeled for the exactness argument.
+func CountLabeled(g *Graph, vertexLabels []VertexLabel, p *Pattern, patternLabels []VertexLabel, opts ...Option) (int64, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	lp, err := labeled.NewPattern(p.p, patternLabels)
+	if err != nil {
+		return 0, err
+	}
+	return labeled.Count(g.g, vertexLabels, lp, core.RunOptions{
+		Workers:   o.workers,
+		ChunkSize: o.chunkSize,
+	})
+}
+
+// ClusterCount plans and counts on a simulated cluster with per-node task
+// queues and cross-node work stealing.
+func ClusterCount(g *Graph, p *Pattern, copt ClusterOptions, opts ...Option) (*ClusterResult, error) {
+	pl, err := NewPlan(g, p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.Run(pl.cfg, g.g, cluster.Options{
+		Nodes:          copt.Nodes,
+		WorkersPerNode: copt.WorkersPerNode,
+		UseIEP:         copt.UseIEP,
+		ChunkSize:      pl.opts.chunkSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ClusterResult{Count: res.Count, Elapsed: res.Elapsed}
+	for _, ns := range res.Nodes {
+		out.TasksPerNode = append(out.TasksPerNode, ns.TasksRun)
+		out.Steals += ns.StealsReceived
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package graphpi
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	g := GenerateBA(500, 5, 42)
+	p := House()
+	plan, err := NewPlan(g, p, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := plan.Count()
+	if count <= 0 {
+		t.Fatalf("house count = %d, want > 0", count)
+	}
+	if got := plan.CountIEP(); got != count {
+		t.Errorf("CountIEP = %d, want %d", got, count)
+	}
+	oneShot, err := Count(g, p, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oneShot != count {
+		t.Errorf("Count = %d, want %d", oneShot, count)
+	}
+	if plan.PrepTime() <= 0 || plan.Describe() == "" {
+		t.Error("plan metadata missing")
+	}
+	if plan.PredictedCost() <= 0 {
+		t.Error("predicted cost missing")
+	}
+}
+
+func TestEnumerateFacade(t *testing.T) {
+	g := GenerateGNM(60, 200, 7)
+	p := Triangle()
+	plan, err := NewPlan(g, p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Count()
+	var got int64
+	n := plan.Enumerate(func(emb []uint32) bool {
+		got++
+		if len(emb) != 3 {
+			t.Fatalf("embedding size %d", len(emb))
+		}
+		if !g.HasEdge(emb[0], emb[1]) || !g.HasEdge(emb[1], emb[2]) || !g.HasEdge(emb[0], emb[2]) {
+			t.Fatalf("non-triangle %v", emb)
+		}
+		return true
+	})
+	if got != want || n != want {
+		t.Errorf("enumerated %d (returned %d), want %d", got, n, want)
+	}
+}
+
+func TestGraphIO(t *testing.T) {
+	g := GenerateGNM(40, 120, 3)
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "g.bin")
+	if err := g.SaveBinary(bin); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGraph(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumVertices() != 40 || loaded.NumEdges() != 120 {
+		t.Errorf("binary round trip: %d/%d", loaded.NumVertices(), loaded.NumEdges())
+	}
+	// Text edge list path.
+	txt := filepath.Join(dir, "g.txt")
+	if err := os.WriteFile(txt, []byte("# c\n0 1\n1 2\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tg, err := LoadGraph(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.NumEdges() != 3 || tg.Triangles() != 1 {
+		t.Errorf("text load: %d edges %d triangles", tg.NumEdges(), tg.Triangles())
+	}
+	if _, err := LoadGraph(filepath.Join(dir, "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+	rg, err := ReadGraph(strings.NewReader("0 1\n"))
+	if err != nil || rg.NumEdges() != 1 {
+		t.Errorf("ReadGraph: %v %v", rg, err)
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	names := DatasetNames()
+	if len(names) != 6 {
+		t.Fatalf("datasets = %v", names)
+	}
+	g, err := LoadDataset("WikiVote-S", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() == 0 || g.StatsString() == "" {
+		t.Error("dataset empty")
+	}
+	if _, err := LoadDataset("bogus", 1); err == nil {
+		t.Error("bogus dataset accepted")
+	}
+}
+
+func TestPatternConstructors(t *testing.T) {
+	if _, err := NewPattern(3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, "tri"); err != nil {
+		t.Error(err)
+	}
+	if _, err := NewPattern(2, [][2]int{{0, 5}}, "bad"); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	p, err := PatternFromAdjacency(3, "011101110", "tri")
+	if err != nil || p.NumEdges() != 3 {
+		t.Errorf("adjacency parse: %v %v", p, err)
+	}
+	if Clique(5).NumEdges() != 10 {
+		t.Error("K5 edges")
+	}
+	evals := EvaluationPatterns()
+	if len(evals) != 6 {
+		t.Fatalf("evaluation patterns = %d", len(evals))
+	}
+	for i, p := range evals {
+		if p.Name() == "" || p.N() < 5 {
+			t.Errorf("P%d malformed: %v", i+1, p)
+		}
+	}
+	if got := len(Motifs(4)); got != 6 {
+		t.Errorf("4-motifs = %d, want 6", got)
+	}
+}
+
+func TestBaselineOptionAgrees(t *testing.T) {
+	g := GenerateBA(200, 4, 9)
+	p := House()
+	full, err := Count(g, p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewPlan(g, p, WithGraphZeroBaseline(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.Count(); got != full {
+		t.Errorf("baseline count = %d, GraphPi = %d", got, full)
+	}
+}
+
+func TestClusterCountFacade(t *testing.T) {
+	g := GenerateBA(300, 4, 21)
+	p := House()
+	want, err := Count(g, p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ClusterCount(g, p, ClusterOptions{Nodes: 3, WorkersPerNode: 2, UseIEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Errorf("cluster count = %d, want %d", res.Count, want)
+	}
+	if len(res.TasksPerNode) != 3 {
+		t.Errorf("TasksPerNode = %v", res.TasksPerNode)
+	}
+}
+
+func TestRMATGenerator(t *testing.T) {
+	g := GenerateRMAT(10, 3000, 5)
+	if g.NumVertices() != 1024 {
+		t.Errorf("RMAT vertices = %d", g.NumVertices())
+	}
+	if g.Degree(0) < 0 || len(g.Neighbors(0)) != g.Degree(0) {
+		t.Error("accessor mismatch")
+	}
+}
+
+func TestEstimateCountFacade(t *testing.T) {
+	g := GenerateBA(800, 6, 5)
+	p := Triangle()
+	exact, err := Count(g, p, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCount(g, p, 200000, 11, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (est - float64(exact)) / float64(exact)
+	if rel < -0.25 || rel > 0.25 {
+		t.Errorf("estimate %.0f vs exact %d (rel %.2f)", est, exact, rel)
+	}
+	if _, err := EstimateCount(g, p, 0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestCountLabeledFacade(t *testing.T) {
+	g, err := NewGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 0}, {0, 3}, {1, 3}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K4 labeled [0,0,1,1]: triangles with labels {0,0,1}: two of them.
+	got, err := CountLabeled(g, []VertexLabel{0, 0, 1, 1}, Triangle(),
+		[]VertexLabel{0, 0, 1}, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Errorf("labeled count = %d, want 2", got)
+	}
+	wild, err := CountLabeled(g, []VertexLabel{0, 0, 1, 1}, Triangle(),
+		[]VertexLabel{WildcardLabel, WildcardLabel, WildcardLabel})
+	if err != nil || wild != 4 {
+		t.Errorf("wildcard count = %d (%v), want 4", wild, err)
+	}
+	if _, err := CountLabeled(g, []VertexLabel{0}, Triangle(), []VertexLabel{0, 0, 0}); err == nil {
+		t.Error("short label vector accepted")
+	}
+}
+
+func TestGenerateSourceFacade(t *testing.T) {
+	g := GenerateGNM(50, 150, 1)
+	plan, err := NewPlan(g, Triangle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := plan.GenerateSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "package main") || !strings.Contains(src, "countEmbeddings") {
+		t.Error("generated source malformed")
+	}
+}
+
+func TestNewGraphFacade(t *testing.T) {
+	g, err := NewGraph(4, [][2]uint32{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Count(g, Rectangle(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Errorf("rectangle count in C4 = %d, want 1", c)
+	}
+	if got, _ := Count(g, Pentagon(), WithWorkers(1)); got != 0 {
+		t.Errorf("pentagon in C4 = %d", got)
+	}
+	if got, _ := Count(g, Cycle6Tri(), WithWorkers(1)); got != 0 {
+		t.Errorf("cycle6tri in C4 = %d", got)
+	}
+}

@@ -1,0 +1,210 @@
+// Package approx implements an ASAP-style approximate pattern counter
+// (Iyer et al., OSDI'18), the approximate-matching system GraphPi's related
+// work discusses (§II, §VI). It exists as a comparison substrate: the paper
+// argues that sampling estimators trade accuracy for latency and "fail to
+// generate relatively accurate estimation … if there are very few
+// embeddings in the graph" — a behavior the tests reproduce.
+//
+// The estimator is a Horvitz–Thompson sampler over the same nested-loop
+// structure GraphPi executes exactly. One sample draws the first vertex
+// uniformly from V, then each subsequent vertex uniformly from its
+// candidate set (the intersection of the neighborhoods of its already-bound
+// pattern neighbors, restricted by the symmetry-breaking windows). The
+// product of the candidate-set sizes is the inverse of the sample's
+// selection probability, so
+//
+//	E[ Π|candidates| · 1{sample completes} ] = #embeddings
+//
+// making the estimator unbiased for any schedule and complete restriction
+// set. Variance depends on the workload: dense patterns on skewed graphs
+// need many samples.
+package approx
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"graphpi/internal/graph"
+	"graphpi/internal/pattern"
+	"graphpi/internal/restrict"
+	"graphpi/internal/schedule"
+	"graphpi/internal/taskpool"
+	"graphpi/internal/vertexset"
+)
+
+// Options configures the estimator.
+type Options struct {
+	// Samples is the number of independent samples (≥ 1).
+	Samples int
+	// Seed makes the estimate deterministic.
+	Seed uint64
+	// Workers parallelizes sampling (< 1 → GOMAXPROCS).
+	Workers int
+}
+
+// Estimate approximates the number of embeddings of pat in g. The schedule
+// and restriction set are chosen like GraphPi's planner would (first
+// efficient schedule, first complete restriction set) — the estimator is
+// unbiased under any complete configuration.
+func Estimate(g *graph.Graph, pat *pattern.Pattern, opt Options) (float64, error) {
+	if opt.Samples < 1 {
+		return 0, fmt.Errorf("approx: need at least one sample")
+	}
+	if !pat.Connected() {
+		return 0, fmt.Errorf("approx: pattern %s is disconnected", pat)
+	}
+	sets, err := restrict.Generate(pat, restrict.Options{MaxSets: 1})
+	if err != nil {
+		return 0, err
+	}
+	sres := schedule.Generate(pat, schedule.Options{})
+	if len(sres.Efficient) == 0 {
+		return 0, fmt.Errorf("approx: no efficient schedule for %s", pat)
+	}
+	s := sres.Efficient[0]
+	sampler, err := newSampler(g, pat, s, sets[0])
+	if err != nil {
+		return 0, err
+	}
+	workers := taskpool.Workers(opt.Workers)
+	sums := make([]float64, workers)
+	taskpool.Run(workers, opt.Samples, 256, func(w int, rg taskpool.Range) {
+		// Derive an independent deterministic stream per chunk.
+		rng := rand.New(rand.NewPCG(opt.Seed, uint64(rg.Start)+0x9e37))
+		st := sampler.newState()
+		for i := rg.Start; i < rg.End; i++ {
+			sums[w] += sampler.sample(rng, st)
+		}
+	})
+	var total float64
+	for _, v := range sums {
+		total += v
+	}
+	return total / float64(opt.Samples), nil
+}
+
+// sampler holds the compiled loop structure shared by all samples.
+type sampler struct {
+	g      *graph.Graph
+	n      int
+	plan   schedule.Plan
+	lowers [][]uint8
+	uppers [][]uint8
+}
+
+// state is per-goroutine scratch.
+type state struct {
+	bound []uint32
+	bufs  [][]uint32
+	cand  [][]uint32
+}
+
+func newSampler(g *graph.Graph, pat *pattern.Pattern, s schedule.Schedule, rs restrict.Set) (*sampler, error) {
+	n := pat.N()
+	rel := schedule.RelabeledPattern(pat, s)
+	sm := &sampler{
+		g:      g,
+		n:      n,
+		plan:   schedule.BuildPlan(rel, n),
+		lowers: make([][]uint8, n),
+		uppers: make([][]uint8, n),
+	}
+	pos := make([]uint8, n)
+	for depth, v := range s.Order {
+		pos[v] = uint8(depth)
+	}
+	for _, r := range rs {
+		pf, ps := pos[r.First], pos[r.Second]
+		if pf > ps {
+			sm.lowers[pf] = append(sm.lowers[pf], ps)
+		} else {
+			sm.uppers[ps] = append(sm.uppers[ps], pf)
+		}
+	}
+	return sm, nil
+}
+
+func (sm *sampler) newState() *state {
+	maxDeg := sm.g.MaxDegree()
+	st := &state{
+		bound: make([]uint32, sm.n),
+		bufs:  make([][]uint32, sm.plan.NumBufs),
+		cand:  make([][]uint32, sm.n),
+	}
+	for i := range st.bufs {
+		st.bufs[i] = make([]uint32, 0, maxDeg)
+	}
+	return st
+}
+
+// sample draws one embedding attempt and returns its Horvitz–Thompson
+// weight (0 if the attempt died on an empty candidate set or a duplicate
+// vertex).
+func (sm *sampler) sample(rng *rand.Rand, st *state) float64 {
+	g := sm.g
+	nv := g.NumVertices()
+	if nv == 0 {
+		return 0
+	}
+	weight := float64(nv)
+	st.bound[0] = uint32(rng.IntN(nv))
+	sm.runSteps(0, st)
+	for depth := 1; depth < sm.n; depth++ {
+		cands := sm.candidates(depth, st)
+		// Restriction windows.
+		var lo uint32
+		hasLo := false
+		for _, p := range sm.lowers[depth] {
+			if b := st.bound[p]; !hasLo || b > lo {
+				lo, hasLo = b, true
+			}
+		}
+		for _, p := range sm.uppers[depth] {
+			cands = vertexset.Below(cands, st.bound[p])
+		}
+		if hasLo {
+			cands = vertexset.Above(cands, lo)
+		}
+		if len(cands) == 0 {
+			return 0
+		}
+		pick := cands[rng.IntN(len(cands))]
+		// Injectivity: a duplicate kills the sample (its weight already
+		// accounts for the candidates that would have survived).
+		for _, b := range st.bound[:depth] {
+			if b == pick {
+				return 0
+			}
+		}
+		st.bound[depth] = pick
+		weight *= float64(len(cands))
+		sm.runSteps(depth, st)
+	}
+	return weight
+}
+
+func (sm *sampler) candidates(depth int, st *state) []uint32 {
+	c := sm.plan.Cand[depth]
+	switch c.Kind {
+	case schedule.CandNeighborhood:
+		return sm.g.Neighbors(st.bound[c.Parent])
+	case schedule.CandBuffer:
+		return st.bufs[c.Buf]
+	default:
+		// Phase-1 schedules never produce a full scan past depth 0.
+		return nil
+	}
+}
+
+func (sm *sampler) runSteps(depth int, st *state) {
+	for _, step := range sm.plan.Steps[depth] {
+		var left []uint32
+		if step.LeftBuf >= 0 {
+			left = st.bufs[step.LeftBuf]
+		} else {
+			left = sm.g.Neighbors(st.bound[step.LeftParent])
+		}
+		right := sm.g.Neighbors(st.bound[step.Depth])
+		st.bufs[step.Out] = vertexset.Intersect(st.bufs[step.Out][:0], left, right)
+	}
+}

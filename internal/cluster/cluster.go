@@ -1,0 +1,313 @@
+// Package cluster implements GraphPi's distributed pattern matching layer
+// (paper §IV-E) as a simulated multi-node system.
+//
+// The paper runs an OpenMP/MPI hybrid on Tianhe-2A: every node holds a full
+// replica of the data graph, a master partitions the outer loops into
+// fine-grained tasks, each node runs a communication thread that maintains a
+// local task queue and steals tasks from other nodes with asynchronous MPI
+// primitives when the queue runs low, and worker threads drain the local
+// queue. This package reproduces that architecture with goroutines and
+// channels standing in for MPI ranks and messages:
+//
+//   - Node — an MPI rank: a task queue, W worker goroutines, and a
+//     communication goroutine serving steal requests from peers.
+//   - The master (Run) packs outer-loop vertex ranges into tasks and deals
+//     them to the nodes.
+//   - When a node's queue drops below StealThreshold, its communication
+//     goroutine requests work from the peer with the longest queue; the
+//     victim's communication goroutine replies with half its remainder.
+//
+// What the simulation preserves from the paper: task granularity effects,
+// load imbalance under power-law skew, steal traffic, and the flattening
+// speedup curves for short jobs (Figure 12). What it abstracts away: wire
+// latency and serialization costs.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphpi/internal/core"
+	"graphpi/internal/graph"
+	"graphpi/internal/taskpool"
+)
+
+// Options configures a simulated cluster run.
+type Options struct {
+	// Nodes is the number of simulated MPI ranks (≥ 1).
+	Nodes int
+	// WorkersPerNode is the number of worker goroutines per node (the
+	// paper runs 24 OpenMP threads per rank); ≥ 1.
+	WorkersPerNode int
+	// ChunkSize is the number of outermost-loop vertices per task
+	// (< 1 → adaptive).
+	ChunkSize int
+	// StealThreshold: a node's comm goroutine steals when its queue is
+	// shorter than this (< 1 → 2, the behavior of the paper's
+	// communication thread).
+	StealThreshold int
+	// UseIEP enables inclusion–exclusion counting.
+	UseIEP bool
+	// NodeDelay artificially slows one node per task (failure/straggler
+	// injection for tests); 0 disables.
+	NodeDelay time.Duration
+	// DelayedNode is the index of the straggler node when NodeDelay > 0.
+	DelayedNode int
+}
+
+func (o *Options) normalize(numTasks int) {
+	if o.Nodes < 1 {
+		o.Nodes = 1
+	}
+	if o.WorkersPerNode < 1 {
+		o.WorkersPerNode = 1
+	}
+	if o.StealThreshold < 1 {
+		o.StealThreshold = 2
+	}
+	_ = numTasks
+}
+
+// NodeStats describes one node's activity during a run.
+type NodeStats struct {
+	// TasksRun is the number of tasks the node's workers executed.
+	TasksRun int64
+	// StolenFrom is the number of tasks other nodes took from this node.
+	StolenFrom int64
+	// StealsReceived is the number of tasks this node obtained by
+	// stealing.
+	StealsReceived int64
+}
+
+// Result is the outcome of a cluster run.
+type Result struct {
+	Count   int64
+	Elapsed time.Duration
+	Nodes   []NodeStats
+	// Tasks is the total number of tasks the master created.
+	Tasks int
+}
+
+// message types exchanged between node communication goroutines.
+type stealRequest struct {
+	reply chan []taskpool.Range
+}
+
+// node is one simulated MPI rank.
+type node struct {
+	id    int
+	mu    sync.Mutex
+	queue []taskpool.Range
+	head  int
+
+	inbox chan stealRequest
+	stats NodeStats
+}
+
+func (n *node) pop() (taskpool.Range, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.head >= len(n.queue) {
+		return taskpool.Range{}, false
+	}
+	t := n.queue[n.head]
+	n.head++
+	return t, true
+}
+
+func (n *node) size() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue) - n.head
+}
+
+// takeHalf removes up to half of the remaining tasks from the back of the
+// queue (the victim side of a steal).
+func (n *node) takeHalf() []taskpool.Range {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	remaining := len(n.queue) - n.head
+	if remaining <= 1 {
+		return nil
+	}
+	take := remaining / 2
+	cut := len(n.queue) - take
+	out := append([]taskpool.Range(nil), n.queue[cut:]...)
+	n.queue = n.queue[:cut]
+	return out
+}
+
+func (n *node) push(tasks []taskpool.Range) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.queue = append(n.queue, tasks...)
+}
+
+// Run executes the configuration on a simulated cluster and returns the
+// embedding count with per-node statistics. Counts are exact and identical
+// for any node/worker configuration.
+func Run(cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
+	nv := g.NumVertices()
+	if nv == 0 {
+		return &Result{}, nil
+	}
+	chunk := opt.ChunkSize
+	if chunk < 1 {
+		chunk = nv / (maxInt(opt.Nodes, 1) * maxInt(opt.WorkersPerNode, 1) * 16)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	tasks := taskpool.SplitChunks(nv, chunk)
+	opt.normalize(len(tasks))
+
+	nodes := make([]*node, opt.Nodes)
+	for i := range nodes {
+		nodes[i] = &node{id: i, inbox: make(chan stealRequest, opt.Nodes)}
+	}
+	// The master deals tasks round-robin (the paper's master thread packs
+	// outer-loop values and distributes them).
+	for i, t := range tasks {
+		nd := nodes[i%opt.Nodes]
+		nd.queue = append(nd.queue, t)
+	}
+
+	var pending atomic.Int64
+	pending.Store(int64(len(tasks)))
+	done := make(chan struct{})
+
+	// Communication goroutines: serve steal requests until shutdown.
+	var commWG sync.WaitGroup
+	for _, nd := range nodes {
+		commWG.Add(1)
+		go func(nd *node) {
+			defer commWG.Done()
+			for {
+				select {
+				case req := <-nd.inbox:
+					req.reply <- nd.takeHalf()
+				case <-done:
+					// Drain any in-flight requests so requesters never block.
+					for {
+						select {
+						case req := <-nd.inbox:
+							req.reply <- nil
+						default:
+							return
+						}
+					}
+				}
+			}
+		}(nd)
+	}
+
+	start := time.Now()
+	var workWG sync.WaitGroup
+	rawCounts := make([]int64, opt.Nodes*opt.WorkersPerNode)
+	for ni, nd := range nodes {
+		for w := 0; w < opt.WorkersPerNode; w++ {
+			workWG.Add(1)
+			go func(nd *node, slot int) {
+				defer workWG.Done()
+				counter := core.NewCounter(cfg, g, opt.UseIEP)
+				for {
+					t, ok := nd.pop()
+					if !ok {
+						if !trySteal(nd, nodes, opt, &pending) {
+							if pending.Load() == 0 {
+								break
+							}
+							// Someone still runs tasks that might be
+							// re-stolen; yield briefly.
+							time.Sleep(50 * time.Microsecond)
+							continue
+						}
+						continue
+					}
+					if opt.NodeDelay > 0 && nd.id == opt.DelayedNode {
+						time.Sleep(opt.NodeDelay)
+					}
+					counter.CountRange(t.Start, t.End)
+					atomic.AddInt64(&nd.stats.TasksRun, 1)
+					pending.Add(-1)
+				}
+				rawCounts[slot] = counter.Raw()
+			}(nd, ni*opt.WorkersPerNode+w)
+		}
+	}
+	workWG.Wait()
+	close(done)
+	commWG.Wait()
+
+	var raw int64
+	for _, c := range rawCounts {
+		raw += c
+	}
+	res := &Result{
+		Elapsed: time.Since(start),
+		Tasks:   len(tasks),
+		Nodes:   make([]NodeStats, opt.Nodes),
+	}
+	if opt.UseIEP {
+		res.Count = cfg.ScaleIEP(raw)
+	} else {
+		res.Count = raw
+	}
+	for i, nd := range nodes {
+		res.Nodes[i] = nd.stats
+	}
+	return res, nil
+}
+
+// trySteal asks the richest peer's communication goroutine for work and
+// pushes the reply into the local queue. Returns true if tasks arrived.
+func trySteal(self *node, nodes []*node, opt Options, pending *atomic.Int64) bool {
+	if len(nodes) == 1 {
+		return false
+	}
+	if self.size() >= opt.StealThreshold {
+		return true // queue refilled concurrently
+	}
+	victim := -1
+	best := 0
+	for i, nd := range nodes {
+		if nd == self {
+			continue
+		}
+		if s := nd.size(); s > best {
+			best, victim = s, i
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	req := stealRequest{reply: make(chan []taskpool.Range, 1)}
+	select {
+	case nodes[victim].inbox <- req:
+	default:
+		return false // victim busy; caller retries
+	}
+	got := <-req.reply
+	if len(got) == 0 {
+		return false
+	}
+	self.push(got)
+	atomic.AddInt64(&nodes[victim].stats.StolenFrom, int64(len(got)))
+	atomic.AddInt64(&self.stats.StealsReceived, int64(len(got)))
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders per-node statistics compactly.
+func (r *Result) String() string {
+	return fmt.Sprintf("count=%d elapsed=%v tasks=%d nodes=%d",
+		r.Count, r.Elapsed, r.Tasks, len(r.Nodes))
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"graphpi/internal/core"
+	"graphpi/internal/graph"
+	"graphpi/internal/pattern"
+)
+
+func planFor(t *testing.T, g *graph.Graph, p *pattern.Pattern) *core.Config {
+	t.Helper()
+	res, err := core.Plan(p, g.Stats(), core.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Best
+}
+
+func TestClusterMatchesSingleNode(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 5, 77)
+	p := pattern.House()
+	cfg := planFor(t, g, p)
+	want := cfg.Count(g, core.RunOptions{Workers: 1})
+	for _, nodes := range []int{1, 2, 4} {
+		for _, wpn := range []int{1, 3} {
+			res, err := Run(cfg, g, Options{Nodes: nodes, WorkersPerNode: wpn})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Errorf("nodes=%d wpn=%d: count = %d, want %d", nodes, wpn, res.Count, want)
+			}
+			var tasksRun int64
+			for _, ns := range res.Nodes {
+				tasksRun += ns.TasksRun
+			}
+			if int(tasksRun) != res.Tasks {
+				t.Errorf("nodes=%d: tasks run %d != created %d", nodes, tasksRun, res.Tasks)
+			}
+		}
+	}
+}
+
+func TestClusterIEP(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 5, 13)
+	p := pattern.Cycle6Tri()
+	cfg := planFor(t, g, p)
+	want := cfg.CountIEP(g, core.RunOptions{Workers: 1})
+	res, err := Run(cfg, g, Options{Nodes: 3, WorkersPerNode: 2, UseIEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Errorf("cluster IEP = %d, want %d", res.Count, want)
+	}
+	if plain := cfg.Count(g, core.RunOptions{Workers: 2}); plain != want {
+		t.Errorf("IEP %d != plain %d", want, plain)
+	}
+}
+
+func TestWorkStealingFromStraggler(t *testing.T) {
+	// Inject a slow node: work stealing must shift most tasks to healthy
+	// nodes (the imbalance scenario of §IV-E).
+	g := graph.BarabasiAlbert(600, 4, 3)
+	p := pattern.Triangle()
+	cfg := planFor(t, g, p)
+	want := cfg.Count(g, core.RunOptions{Workers: 1})
+	res, err := Run(cfg, g, Options{
+		Nodes: 3, WorkersPerNode: 1, ChunkSize: 4,
+		NodeDelay: 2 * time.Millisecond, DelayedNode: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Fatalf("count = %d, want %d", res.Count, want)
+	}
+	healthy := res.Nodes[1].TasksRun + res.Nodes[2].TasksRun
+	if healthy <= res.Nodes[0].TasksRun {
+		t.Errorf("healthy nodes ran %d tasks vs straggler %d; stealing ineffective",
+			healthy, res.Nodes[0].TasksRun)
+	}
+	if res.Nodes[1].StealsReceived+res.Nodes[2].StealsReceived == 0 {
+		t.Error("no steals recorded despite straggler")
+	}
+}
+
+func TestClusterTinyGraph(t *testing.T) {
+	g := graph.Complete(6)
+	p := pattern.Triangle()
+	cfg := planFor(t, g, p)
+	res, err := Run(cfg, g, Options{Nodes: 4, WorkersPerNode: 2, ChunkSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 20 {
+		t.Errorf("K6 triangles = %d, want 20", res.Count)
+	}
+	empty, _ := graph.FromEdges(0, nil)
+	res, err = Run(cfg, empty, Options{Nodes: 2})
+	if err != nil || res.Count != 0 {
+		t.Errorf("empty graph: %v %v", res, err)
+	}
+}
+
+func TestClusterDefaultsNormalize(t *testing.T) {
+	g := graph.GNP(50, 0.3, 5)
+	p := pattern.Triangle()
+	cfg := planFor(t, g, p)
+	// Zero-valued options must normalize rather than hang or panic.
+	res, err := Run(cfg, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != cfg.Count(g, core.RunOptions{Workers: 1}) {
+		t.Error("default options wrong count")
+	}
+	if res.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"graphpi/internal/graph"
+	"graphpi/internal/pattern"
+)
+
+func benchPlan(b *testing.B, g *graph.Graph, p *pattern.Pattern) *Config {
+	b.Helper()
+	res, err := Plan(p, g.Stats(), PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Best
+}
+
+// BenchmarkCountTriangle measures the core counting kernel on a skewed
+// social-style graph.
+func BenchmarkCountTriangle(b *testing.B) {
+	g := graph.BarabasiAlbert(20000, 8, 7)
+	cfg := benchPlan(b, g, pattern.Triangle())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Count(g, RunOptions{Workers: 1})
+	}
+}
+
+// BenchmarkCountHouse measures a 5-vertex pattern end to end.
+func BenchmarkCountHouse(b *testing.B) {
+	g := graph.BarabasiAlbert(5000, 6, 7)
+	cfg := benchPlan(b, g, pattern.House())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Count(g, RunOptions{Workers: 1})
+	}
+}
+
+// BenchmarkCountHouseIEP isolates the IEP counting gain on the same
+// workload as BenchmarkCountHouse.
+func BenchmarkCountHouseIEP(b *testing.B) {
+	g := graph.BarabasiAlbert(5000, 6, 7)
+	cfg := benchPlan(b, g, pattern.House())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.CountIEP(g, RunOptions{Workers: 1})
+	}
+}
+
+// BenchmarkCountParallel measures multi-worker scaling of the runtime.
+func BenchmarkCountParallel(b *testing.B) {
+	g := graph.BarabasiAlbert(20000, 8, 7)
+	cfg := benchPlan(b, g, pattern.House())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.CountIEP(g, RunOptions{Workers: 0})
+	}
+}
+
+// BenchmarkPlanHouse measures preprocessing (Table III regime) for a
+// 5-vertex pattern.
+func BenchmarkPlanHouse(b *testing.B) {
+	g := graph.BarabasiAlbert(2000, 6, 7)
+	stats := g.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(pattern.House(), stats, PlanOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanK7e measures preprocessing for the heaviest evaluation
+// pattern (P6).
+func BenchmarkPlanK7e(b *testing.B) {
+	g := graph.BarabasiAlbert(2000, 6, 7)
+	stats := g.Stats()
+	p := pattern.CliqueMinus(7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Plan(p, stats, PlanOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

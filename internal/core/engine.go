@@ -1,0 +1,387 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"graphpi/internal/graph"
+	"graphpi/internal/iep"
+	"graphpi/internal/schedule"
+	"graphpi/internal/taskpool"
+	"graphpi/internal/vertexset"
+)
+
+// RunOptions controls the execution of a compiled configuration.
+type RunOptions struct {
+	// Workers is the number of goroutines (< 1 → GOMAXPROCS). The result
+	// is identical regardless of worker count.
+	Workers int
+	// ChunkSize is the number of outermost-loop vertices per scheduled
+	// task (< 1 → an adaptive default). Smaller chunks balance power-law
+	// skew at slightly higher scheduling cost (paper §IV-E, fine-grained
+	// task partitioning).
+	ChunkSize int
+	// Budget, when positive, aborts the run cooperatively once exceeded
+	// (the experiment harness's equivalent of the paper's 48-hour "T"
+	// cutoff). Use the *Timed variants to learn whether a run completed.
+	Budget time.Duration
+}
+
+func (o RunOptions) chunk(n, workers int) int {
+	if o.ChunkSize > 0 {
+		return o.ChunkSize
+	}
+	// Aim for ~64 tasks per worker so stealing/self-scheduling can smooth
+	// out skewed vertices, without degenerating to per-vertex dispatch.
+	c := n / (workers * 64)
+	if c < 1 {
+		c = 1
+	}
+	if c > 1024 {
+		c = 1024
+	}
+	return c
+}
+
+// Count returns the number of embeddings of the configuration's pattern by
+// enumerating the full loop nest (no IEP). If the restriction set is
+// complete, each embedding is counted exactly once; with an empty set the
+// result counts every automorphic image (|Aut| per embedding).
+func (c *Config) Count(g *graph.Graph, opt RunOptions) int64 {
+	n, _ := c.execute(g, opt, false, nil)
+	return n
+}
+
+// CountTimed is Count with an explicit completion flag: complete is false
+// when opt.Budget expired before the search finished (the partial tally is
+// still returned).
+func (c *Config) CountTimed(g *graph.Graph, opt RunOptions) (count int64, complete bool) {
+	return c.execute(g, opt, false, nil)
+}
+
+// CountIEPTimed is CountIEP with a completion flag.
+func (c *Config) CountIEPTimed(g *graph.Graph, opt RunOptions) (count int64, complete bool) {
+	return c.execute(g, opt, true, nil)
+}
+
+// CountIEP counts embeddings using the Inclusion-Exclusion Principle over
+// the configuration's independent innermost loops (paper §IV-D). Results
+// equal Count for complete restriction sets, typically far faster.
+func (c *Config) CountIEP(g *graph.Graph, opt RunOptions) int64 {
+	n, _ := c.execute(g, opt, true, nil)
+	return n
+}
+
+// Enumerate invokes visit for every embedding found. The slice passed to
+// visit is indexed by original pattern vertex and reused between calls —
+// copy it to retain. visit may be invoked concurrently from different
+// workers when opt.Workers > 1; returning false stops the enumeration.
+// Enumerate returns the number of embeddings visited (if stopped early, the
+// tally reflects the visits that happened).
+func (c *Config) Enumerate(g *graph.Graph, opt RunOptions, visit func([]uint32) bool) int64 {
+	n, _ := c.execute(g, opt, false, visit)
+	return n
+}
+
+func (c *Config) execute(g *graph.Graph, opt RunOptions, useIEP bool, visit func([]uint32) bool) (int64, bool) {
+	nv := g.NumVertices()
+	if nv == 0 {
+		return 0, true
+	}
+	workers := taskpool.Workers(opt.Workers)
+	chunk := opt.chunk(nv, workers)
+	runners := make([]*runner, workers)
+	var stop, timedOut atomic.Bool
+	if opt.Budget > 0 {
+		timer := time.AfterFunc(opt.Budget, func() {
+			timedOut.Store(true)
+			stop.Store(true)
+		})
+		defer timer.Stop()
+	}
+	taskpool.Run(workers, nv, chunk, func(w int, rg taskpool.Range) {
+		if stop.Load() {
+			return
+		}
+		r := runners[w]
+		if r == nil {
+			r = newRunner(c, g, useIEP, visit, &stop)
+			runners[w] = r
+		}
+		r.runRoot(rg.Start, rg.End)
+	})
+	var total int64
+	for _, r := range runners {
+		if r != nil {
+			total += r.count
+		}
+	}
+	if useIEP && c.effectiveIEPK() >= 1 {
+		total = total * c.iepNum / c.iepDen
+	}
+	return total, !timedOut.Load()
+}
+
+// effectiveIEPK returns the IEP suffix actually usable at run time (0 when
+// the pattern has a single vertex or the schedule admits no suffix).
+func (c *Config) effectiveIEPK() int {
+	if c.n < 2 {
+		return 0
+	}
+	return c.kIEP
+}
+
+// Counter is the task-execution primitive for external runtimes (the
+// simulated cluster): it runs the configuration over explicit outermost-loop
+// vertex ranges and accumulates a raw tally. One Counter per goroutine.
+type Counter struct {
+	r      *runner
+	useIEP bool
+}
+
+// NewCounter creates a Counter bound to a configuration and graph.
+func NewCounter(cfg *Config, g *graph.Graph, useIEP bool) *Counter {
+	return &Counter{r: newRunner(cfg, g, useIEP, nil, nil), useIEP: useIEP}
+}
+
+// CountRange processes outer-loop vertices [start, end) and adds matches to
+// the internal tally.
+func (c *Counter) CountRange(start, end int) {
+	c.r.runRoot(start, end)
+}
+
+// Raw returns the accumulated tally, before any IEP scaling.
+func (c *Counter) Raw() int64 { return c.r.count }
+
+// ScaleIEP converts a raw tally summed over IEP-enabled Counters into the
+// final embedding count.
+func (c *Config) ScaleIEP(raw int64) int64 {
+	if c.effectiveIEPK() >= 1 {
+		return raw * c.iepNum / c.iepDen
+	}
+	return raw
+}
+
+// runner is the per-worker execution state: bound vertices, intersection
+// buffers and the IEP calculator. A runner is single-goroutine.
+type runner struct {
+	cfg   *Config
+	g     *graph.Graph
+	bound []uint32
+	bufs  [][]uint32
+	visit func([]uint32) bool
+	emb   []uint32
+	stop  *atomic.Bool
+	count int64
+
+	useIEP  bool
+	iepCut  int // depth after which IEP takes over; -1 when disabled
+	calc    *iep.Calculator
+	iepSets [][]uint32
+}
+
+func newRunner(cfg *Config, g *graph.Graph, useIEP bool, visit func([]uint32) bool, stop *atomic.Bool) *runner {
+	r := &runner{
+		cfg:    cfg,
+		g:      g,
+		bound:  make([]uint32, cfg.n),
+		bufs:   make([][]uint32, cfg.plan.NumBufs),
+		visit:  visit,
+		stop:   stop,
+		iepCut: -1,
+	}
+	maxDeg := g.MaxDegree()
+	for i := range r.bufs {
+		r.bufs[i] = make([]uint32, 0, maxDeg)
+	}
+	if visit != nil {
+		r.emb = make([]uint32, cfg.n)
+	}
+	if k := cfg.effectiveIEPK(); useIEP && k >= 1 {
+		r.useIEP = true
+		r.iepCut = cfg.n - k - 1
+		r.calc = iep.NewCalculator(k)
+		r.iepSets = make([][]uint32, k)
+	}
+	return r
+}
+
+// runRoot executes the outermost loop over the vertex range [start, end).
+func (r *runner) runRoot(start, end int) {
+	n := r.cfg.n
+	for v := start; v < end; v++ {
+		if r.stop != nil && r.stop.Load() {
+			return
+		}
+		r.bound[0] = uint32(v)
+		switch {
+		case n == 1:
+			r.leaf()
+		case r.iepCut == 0:
+			r.runSteps(0)
+			r.count += r.iepCount()
+		default:
+			r.runSteps(0)
+			r.run(1)
+		}
+	}
+}
+
+// run executes the loop at the given depth (1 ≤ depth ≤ n-1).
+func (r *runner) run(depth int) {
+	cfg := r.cfg
+	g := r.g
+
+	// Restriction windows: candidates must be > lo and < hi.
+	var lo uint32
+	hasLo := false
+	for _, p := range cfg.lowers[depth] {
+		if b := r.bound[p]; !hasLo || b > lo {
+			lo, hasLo = b, true
+		}
+	}
+	hi := uint32(maxUint32)
+	for _, p := range cfg.uppers[depth] {
+		if b := r.bound[p]; b < hi {
+			hi = b
+		}
+	}
+
+	cand := cfg.plan.Cand[depth]
+	var cands []uint32
+	switch cand.Kind {
+	case schedule.CandFull:
+		// Unconstrained loop over all data vertices (only inefficient
+		// schedules reach this: Figure 9 measures them too).
+		r.runFull(depth, lo, hasLo, hi)
+		return
+	case schedule.CandNeighborhood:
+		cands = g.Neighbors(r.bound[cand.Parent])
+	default:
+		cands = r.bufs[cand.Buf]
+	}
+	if hi != maxUint32 {
+		cands = vertexset.Below(cands, hi)
+	}
+	if hasLo {
+		cands = vertexset.Above(cands, lo)
+	}
+
+	isLeaf := depth == cfg.n-1
+	atCut := depth == r.iepCut
+next:
+	for _, v := range cands {
+		for _, b := range r.bound[:depth] {
+			if b == v {
+				continue next
+			}
+		}
+		r.bound[depth] = v
+		switch {
+		case isLeaf:
+			r.leaf()
+			if r.stop != nil && r.stop.Load() {
+				return
+			}
+		case atCut:
+			r.runSteps(depth)
+			r.count += r.iepCount()
+		default:
+			r.runSteps(depth)
+			r.run(depth + 1)
+			if r.stop != nil && r.stop.Load() {
+				return
+			}
+		}
+	}
+}
+
+// runFull is the CandFull variant of run's loop body.
+func (r *runner) runFull(depth int, lo uint32, hasLo bool, hi uint32) {
+	start := 0
+	if hasLo {
+		start = int(lo) + 1
+	}
+	end := r.g.NumVertices()
+	if hi != maxUint32 && int(hi) < end {
+		end = int(hi)
+	}
+	isLeaf := depth == r.cfg.n-1
+	atCut := depth == r.iepCut
+next:
+	for vi := start; vi < end; vi++ {
+		v := uint32(vi)
+		for _, b := range r.bound[:depth] {
+			if b == v {
+				continue next
+			}
+		}
+		r.bound[depth] = v
+		switch {
+		case isLeaf:
+			r.leaf()
+			if r.stop != nil && r.stop.Load() {
+				return
+			}
+		case atCut:
+			r.runSteps(depth)
+			r.count += r.iepCount()
+		default:
+			r.runSteps(depth)
+			r.run(depth + 1)
+			if r.stop != nil && r.stop.Load() {
+				return
+			}
+		}
+	}
+}
+
+// runSteps executes the intersections hoisted to this depth.
+func (r *runner) runSteps(depth int) {
+	for _, st := range r.cfg.plan.Steps[depth] {
+		var left []uint32
+		if st.LeftBuf >= 0 {
+			left = r.bufs[st.LeftBuf]
+		} else {
+			left = r.g.Neighbors(r.bound[st.LeftParent])
+		}
+		right := r.g.Neighbors(r.bound[st.Depth])
+		r.bufs[st.Out] = vertexset.Intersect(r.bufs[st.Out][:0], left, right)
+	}
+}
+
+// leaf records one embedding.
+func (r *runner) leaf() {
+	r.count++
+	if r.visit == nil {
+		return
+	}
+	for i, v := range r.bound {
+		r.emb[r.cfg.order[i]] = v
+	}
+	if !r.visit(r.emb) {
+		r.stop.Store(true)
+	}
+}
+
+// iepCount computes the inclusion–exclusion count of the innermost k loops
+// given the currently bound outer prefix (paper Figure 6: |S_IEP|).
+func (r *runner) iepCount() int64 {
+	cfg := r.cfg
+	k := len(r.iepSets)
+	base := cfg.n - k
+	for i := 0; i < k; i++ {
+		cand := cfg.plan.Cand[base+i]
+		switch cand.Kind {
+		case schedule.CandNeighborhood:
+			r.iepSets[i] = r.g.Neighbors(r.bound[cand.Parent])
+		case schedule.CandBuffer:
+			r.iepSets[i] = r.bufs[cand.Buf]
+		default:
+			// A disconnected inner vertex would need the whole vertex
+			// set; connected patterns never produce this.
+			panic("core: IEP inner loop with full candidate set")
+		}
+	}
+	return r.calc.Count(r.iepSets, r.bound[:base])
+}

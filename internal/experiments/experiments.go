@@ -1,0 +1,122 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (§V) against the synthetic dataset stand-ins. Each
+// Table*/Fig* function runs one experiment and returns a structured result
+// with a Report method that prints rows in the paper's shape; cmd/experiments
+// is the CLI driver and bench_test.go wires each experiment into `go test
+// -bench`.
+//
+// Absolute times are not comparable to the paper's Tianhe-2A numbers — the
+// substrates differ (see DESIGN.md §3). Every experiment therefore reports
+// the *relative* quantities the paper's claims are about: speedup factors,
+// rank orders, and scaling curve shapes. Measurements exceeding the
+// configured per-cell budget are reported as "T", mirroring the paper's
+// 48-hour cutoff.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"graphpi/internal/core"
+	"graphpi/internal/dataset"
+	"graphpi/internal/graph"
+	"graphpi/internal/pattern"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Scale shrinks the synthetic datasets (1.0 = default reproduction
+	// size). Experiments at tiny scales run in seconds.
+	Scale float64
+	// Workers is the number of goroutines per measurement (< 1 →
+	// GOMAXPROCS).
+	Workers int
+	// CellBudget bounds each individual measurement; 0 means unlimited.
+	// Expired cells are reported as timed out ("T").
+	CellBudget time.Duration
+	// MaxSchedules caps schedule sweeps (Figures 9/11, Table II); 0 = all.
+	MaxSchedules int
+}
+
+func (o Options) normalized() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	return o
+}
+
+// Cell is one timed measurement.
+type Cell struct {
+	Seconds  float64
+	Count    int64
+	TimedOut bool
+}
+
+func (c Cell) String() string {
+	if c.TimedOut {
+		return fmt.Sprintf("T(>%.2fs)", c.Seconds)
+	}
+	return fmt.Sprintf("%.3fs", c.Seconds)
+}
+
+// Speedup returns other.Seconds / c.Seconds, treating timeouts as lower
+// bounds.
+func (c Cell) Speedup(other Cell) float64 {
+	if c.Seconds <= 0 {
+		return 0
+	}
+	return other.Seconds / c.Seconds
+}
+
+// measure times fn once and captures the count/completion it reports.
+func measure(fn func() (int64, bool)) Cell {
+	start := time.Now()
+	count, complete := fn()
+	return Cell{
+		Seconds:  time.Since(start).Seconds(),
+		Count:    count,
+		TimedOut: !complete,
+	}
+}
+
+// measureConfig times one compiled configuration.
+func measureConfig(cfg *core.Config, g *graph.Graph, opt Options, useIEP bool) Cell {
+	ro := core.RunOptions{Workers: opt.Workers, Budget: opt.CellBudget}
+	return measure(func() (int64, bool) {
+		if useIEP {
+			return cfg.CountIEPTimed(g, ro)
+		}
+		return cfg.CountTimed(g, ro)
+	})
+}
+
+// loadGraph fetches a dataset stand-in at the experiment scale.
+func loadGraph(name string, opt Options) (*graph.Graph, error) {
+	return dataset.Load(name, opt.Scale)
+}
+
+// evalPatterns returns P1..P6.
+func evalPatterns() []*pattern.Pattern { return pattern.EvaluationPatterns() }
+
+// writeHeader prints a boxed experiment title.
+func writeHeader(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+}
+
+// geoMean returns the geometric mean of positive values (0 if none).
+func geoMean(vals []float64) float64 {
+	prod := 1.0
+	n := 0
+	for _, v := range vals {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1.0/float64(n))
+}

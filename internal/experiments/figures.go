@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"graphpi/internal/baseline"
+	"graphpi/internal/core"
+	"graphpi/internal/costmodel"
+	"graphpi/internal/restrict"
+	"graphpi/internal/schedule"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 2(b) — schedule × restriction combinations for the House pattern.
+
+// Fig2bCombo is one measured (schedule, restriction set) combination.
+type Fig2bCombo struct {
+	Schedule     string
+	Restrictions string
+	Cell         Cell
+}
+
+// Fig2bResult reproduces Figure 2(b): the motivating observation that
+// combinations of schedules and restriction sets differ by large factors.
+type Fig2bResult struct {
+	Combos        []Fig2bCombo
+	BestOverWorst float64
+}
+
+// Fig2b measures the House pattern on Patents-S under two schedules × two
+// single-restriction sets derived from the House's automorphism (the
+// paper's id(A)>id(B) versus id(C)>id(D) alternatives).
+func Fig2b(opt Options) (*Fig2bResult, error) {
+	opt = opt.normalized()
+	g, err := loadGraph("Patents-S", opt)
+	if err != nil {
+		return nil, err
+	}
+	p := evalPatterns()[0] // P1 = House
+	sres := schedule.Generate(p, schedule.Options{})
+	if len(sres.Efficient) < 2 {
+		return nil, fmt.Errorf("experiments: not enough schedules for fig2b")
+	}
+	// Rank schedules by model to take a good and a mediocre one.
+	params := costmodel.FromStats(g.Stats())
+	type scored struct {
+		s    schedule.Schedule
+		cost float64
+	}
+	var ranked []scored
+	for _, s := range sres.Efficient {
+		plan := schedule.BuildPlan(schedule.RelabeledPattern(p, s), p.N())
+		ranked = append(ranked, scored{s, costmodel.Estimate(plan, p.N(), nil, params, costmodel.GraphPi).Cost})
+	}
+	for i := 1; i < len(ranked); i++ {
+		for j := i; j > 0 && ranked[j].cost < ranked[j-1].cost; j-- {
+			ranked[j], ranked[j-1] = ranked[j-1], ranked[j]
+		}
+	}
+	schedules := []schedule.Schedule{ranked[0].s, ranked[len(ranked)-1].s}
+	// The House's automorphism group is {id, (0 1)(2 3)}; either 2-cycle
+	// alone is a complete restriction set — the paper's two alternatives.
+	sets := []restrict.Set{
+		{{First: 0, Second: 1}},
+		{{First: 2, Second: 3}},
+	}
+	res := &Fig2bResult{}
+	var best, worst float64
+	for _, s := range schedules {
+		for _, rs := range sets {
+			cfg, err := core.NewConfig(p, s, rs)
+			if err != nil {
+				return nil, err
+			}
+			cell := measureConfig(cfg, g, opt, false)
+			res.Combos = append(res.Combos, Fig2bCombo{
+				Schedule:     s.String(),
+				Restrictions: rs.String(),
+				Cell:         cell,
+			})
+			if !cell.TimedOut {
+				if best == 0 || cell.Seconds < best {
+					best = cell.Seconds
+				}
+				if cell.Seconds > worst {
+					worst = cell.Seconds
+				}
+			}
+		}
+	}
+	if best > 0 {
+		res.BestOverWorst = worst / best
+	}
+	return res, nil
+}
+
+func (r *Fig2bResult) Report(w io.Writer) {
+	writeHeader(w, "Figure 2(b): schedule × restriction combinations (House on Patents-S)")
+	for _, c := range r.Combos {
+		fmt.Fprintf(w, "schedule %-12s  restrictions %-18s  %s  (count %d)\n",
+			c.Schedule, c.Restrictions, c.Cell, c.Cell.Count)
+	}
+	fmt.Fprintf(w, "worst/best ratio: %.1fx (paper: up to 23.2x)\n", r.BestOverWorst)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8 — overall performance: GraphPi vs GraphZero vs Fractal.
+
+// Fig8Cell is one (system, pattern, graph) measurement.
+type Fig8Cell struct {
+	Graph, Pattern string
+	GraphPi        Cell
+	GraphZero      Cell
+	Fractal        Cell
+}
+
+// Fig8Result reproduces Figure 8.
+type Fig8Result struct {
+	Cells []Fig8Cell
+	// GeoSpeedupGZ/Fractal are geometric-mean speedups of GraphPi over
+	// each baseline across completed cells.
+	GeoSpeedupGZ      float64
+	GeoSpeedupFractal float64
+}
+
+// Fig8 runs the 6 evaluation patterns on the 5 single-node datasets with
+// GraphPi (planned configuration, no IEP — matching the paper's protocol),
+// the reproduced GraphZero and the Fractal-style baseline. Cells exceeding
+// the budget report "T" exactly as the paper's 48-hour cutoff does.
+func Fig8(opt Options) (*Fig8Result, error) {
+	opt = opt.normalized()
+	res := &Fig8Result{}
+	var spGZ, spFr []float64
+	for _, gname := range datasetNamesFig8() {
+		g, err := loadGraph(gname, opt)
+		if err != nil {
+			return nil, err
+		}
+		stats := g.Stats()
+		for _, p := range evalPatterns() {
+			cell := Fig8Cell{Graph: gname, Pattern: p.Name()}
+			pr, err := core.Plan(p, stats, core.PlanOptions{})
+			if err != nil {
+				return nil, err
+			}
+			cell.GraphPi = measureConfig(pr.Best, g, opt, false)
+			gz, err := core.PlanGraphZero(p, stats)
+			if err != nil {
+				return nil, err
+			}
+			cell.GraphZero = measureConfig(gz.Best, g, opt, false)
+			cell.Fractal = measure(func() (int64, bool) {
+				return baseline.FractalCountTimed(g, p, opt.Workers, opt.CellBudget)
+			})
+			if !cell.GraphPi.TimedOut {
+				if !cell.GraphZero.TimedOut {
+					spGZ = append(spGZ, cell.GraphPi.Speedup(cell.GraphZero))
+				}
+				if !cell.Fractal.TimedOut {
+					spFr = append(spFr, cell.GraphPi.Speedup(cell.Fractal))
+				}
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	res.GeoSpeedupGZ = geoMean(spGZ)
+	res.GeoSpeedupFractal = geoMean(spFr)
+	return res, nil
+}
+
+func datasetNamesFig8() []string {
+	return []string{"WikiVote-S", "MiCo-S", "Patents-S", "LiveJournal-S", "Orkut-S"}
+}
+
+func (r *Fig8Result) Report(w io.Writer) {
+	writeHeader(w, "Figure 8: overall performance (GraphPi vs GraphZero vs Fractal)")
+	fmt.Fprintf(w, "%-14s %-12s %12s %12s %12s %9s %9s\n",
+		"Graph", "Pattern", "GraphPi", "GraphZero", "Fractal", "vs GZ", "vs Fr")
+	for _, c := range r.Cells {
+		gzs, frs := "-", "-"
+		if !c.GraphPi.TimedOut && !c.GraphZero.TimedOut {
+			gzs = fmt.Sprintf("%.1fx", c.GraphPi.Speedup(c.GraphZero))
+		}
+		if !c.GraphPi.TimedOut && !c.Fractal.TimedOut {
+			frs = fmt.Sprintf("%.1fx", c.GraphPi.Speedup(c.Fractal))
+		}
+		fmt.Fprintf(w, "%-14s %-12s %12s %12s %12s %9s %9s\n",
+			c.Graph, c.Pattern, c.GraphPi, c.GraphZero, c.Fractal, gzs, frs)
+	}
+	fmt.Fprintf(w, "geomean speedup: %.1fx over GraphZero, %.1fx over Fractal\n",
+		r.GeoSpeedupGZ, r.GeoSpeedupFractal)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10 — counting with vs without the Inclusion-Exclusion Principle.
+
+// Fig10Cell is one (pattern, graph) IEP comparison.
+type Fig10Cell struct {
+	Graph, Pattern string
+	NoIEP, WithIEP Cell
+	KIEP           int
+}
+
+// Fig10Result reproduces Figure 10.
+type Fig10Result struct {
+	Cells []Fig10Cell
+}
+
+// Fig10 counts each evaluation pattern on each dataset twice with the same
+// planned configuration — enumerating the innermost loops versus counting
+// them with the Inclusion-Exclusion Principle (paper §V-D).
+func Fig10(opt Options) (*Fig10Result, error) {
+	opt = opt.normalized()
+	res := &Fig10Result{}
+	for _, gname := range datasetNamesFig8() {
+		g, err := loadGraph(gname, opt)
+		if err != nil {
+			return nil, err
+		}
+		stats := g.Stats()
+		for _, p := range evalPatterns() {
+			pr, err := core.Plan(p, stats, core.PlanOptions{})
+			if err != nil {
+				return nil, err
+			}
+			cell := Fig10Cell{Graph: gname, Pattern: p.Name(), KIEP: pr.Best.KIEP()}
+			cell.NoIEP = measureConfig(pr.Best, g, opt, false)
+			cell.WithIEP = measureConfig(pr.Best, g, opt, true)
+			if !cell.NoIEP.TimedOut && !cell.WithIEP.TimedOut &&
+				cell.NoIEP.Count != cell.WithIEP.Count {
+				return nil, fmt.Errorf("experiments: IEP mismatch for %s on %s: %d vs %d",
+					p.Name(), gname, cell.WithIEP.Count, cell.NoIEP.Count)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+func (r *Fig10Result) Report(w io.Writer) {
+	writeHeader(w, "Figure 10: counting with vs without IEP")
+	fmt.Fprintf(w, "%-14s %-12s %12s %12s %10s %5s\n",
+		"Graph", "Pattern", "no IEP", "with IEP", "speedup", "k")
+	for _, c := range r.Cells {
+		sp := "-"
+		if !c.NoIEP.TimedOut && !c.WithIEP.TimedOut && c.WithIEP.Seconds > 0 {
+			sp = fmt.Sprintf("%.1fx", c.NoIEP.Seconds/c.WithIEP.Seconds)
+		}
+		fmt.Fprintf(w, "%-14s %-12s %12s %12s %10s %5d\n",
+			c.Graph, c.Pattern, c.NoIEP, c.WithIEP, sp, c.KIEP)
+	}
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Experiment names accepted by Run and the cmd/experiments CLI.
+const (
+	NameTable1 = "table1"
+	NameFig2b  = "fig2b"
+	NameFig8   = "fig8"
+	NameTable2 = "table2"
+	NameFig9   = "fig9"
+	NameFig10  = "fig10"
+	NameFig11  = "fig11"
+	NameFig12  = "fig12"
+	NameTable3 = "table3"
+)
+
+// Names lists all experiments in paper order.
+func Names() []string {
+	return []string{
+		NameTable1, NameFig2b, NameFig8, NameTable2,
+		NameFig9, NameFig11, NameFig10, NameFig12, NameTable3,
+	}
+}
+
+// Writeable is implemented by every experiment result.
+type Writeable interface {
+	Report(w io.Writer)
+}
+
+// Run executes one named experiment and writes its report to w.
+func Run(name string, opt Options, w io.Writer) error {
+	var (
+		res Writeable
+		err error
+	)
+	switch name {
+	case NameTable1:
+		res, err = Table1(opt)
+	case NameFig2b:
+		res, err = Fig2b(opt)
+	case NameFig8:
+		res, err = Fig8(opt)
+	case NameTable2:
+		res, err = Table2(opt)
+	case NameFig9:
+		res, err = Fig9(opt)
+	case NameFig10:
+		res, err = Fig10(opt)
+	case NameFig11:
+		res, err = Fig11(opt)
+	case NameFig12:
+		res, err = Fig12(opt, nil)
+	case NameTable3:
+		res, err = Table3(opt)
+	default:
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	if err != nil {
+		return fmt.Errorf("experiments: %s: %w", name, err)
+	}
+	res.Report(w)
+	return nil
+}
+
+// RunAll executes every experiment in paper order.
+func RunAll(opt Options, w io.Writer) error {
+	for _, name := range Names() {
+		if err := Run(name, opt, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"graphpi/internal/core"
+	"graphpi/internal/costmodel"
+	"graphpi/internal/dataset"
+	"graphpi/internal/restrict"
+	"graphpi/internal/schedule"
+)
+
+// ---------------------------------------------------------------------------
+// Table I — dataset statistics.
+
+// Table1Result reproduces the paper's Table I for the synthetic stand-ins.
+type Table1Result struct {
+	Rows []dataset.TableRow
+}
+
+// Table1 builds every dataset and reports its statistics next to the
+// original graph's published size.
+func Table1(opt Options) (*Table1Result, error) {
+	opt = opt.normalized()
+	rows, err := dataset.TableI(opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	return &Table1Result{Rows: rows}, nil
+}
+
+func (r *Table1Result) Report(w io.Writer) {
+	writeHeader(w, "Table I: graph datasets (synthetic stand-ins)")
+	fmt.Fprintf(w, "%-15s %12s %12s %12s   %-22s %s\n",
+		"Graph", "#Vertices", "#Edges", "#Triangles", "Description", "vs paper")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-15s %12d %12d %12d   %-22s paper %dV/%dE; %s\n",
+			row.Name, row.Vertices, row.Edges, row.Triangles,
+			row.Description, row.PaperVertices, row.PaperEdges, row.ScaleNote)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Table II — restriction-set selection speedup.
+
+// Table2Row is one (graph, pattern) row: the speedup of GraphPi's
+// model-chosen restriction set over GraphZero's single set, for schedules
+// where the two differ.
+type Table2Row struct {
+	Graph, Pattern    string
+	SchedulesCompared int
+	AvgSpeedup        float64
+	MaxSpeedup        float64
+}
+
+// Table2Result reproduces Table II.
+type Table2Result struct {
+	Rows []Table2Row
+}
+
+// Table2 runs P1, P2, P4 on WikiVote-S and Patents-S: for each efficient
+// schedule, pick the best Algorithm-1 restriction set by the performance
+// model, compare its measured time against the GraphZero set on the same
+// schedule, and report average and maximum speedups over the schedules
+// where the chosen sets differ (paper §V-C, "Restriction Set Generation").
+func Table2(opt Options) (*Table2Result, error) {
+	opt = opt.normalized()
+	pats := evalPatterns()
+	chosen := []int{0, 1, 3} // P1, P2, P4 as in the paper
+	res := &Table2Result{}
+	for _, gname := range []string{"WikiVote-S", "Patents-S"} {
+		g, err := loadGraph(gname, opt)
+		if err != nil {
+			return nil, err
+		}
+		params := costmodel.FromStats(g.Stats())
+		for _, pi := range chosen {
+			p := pats[pi]
+			sets, err := restrict.Generate(p, restrict.Options{})
+			if err != nil {
+				return nil, err
+			}
+			gzSet := restrict.GraphZeroSet(p)
+			sres := schedule.Generate(p, schedule.Options{})
+			scheds := sres.Efficient
+			if opt.MaxSchedules > 0 && len(scheds) > opt.MaxSchedules {
+				scheds = scheds[:opt.MaxSchedules]
+			}
+			row := Table2Row{Graph: gname, Pattern: p.Name()}
+			var speedups []float64
+			for _, s := range scheds {
+				plan := schedule.BuildPlan(schedule.RelabeledPattern(p, s), p.N())
+				best, bestCost := -1, 0.0
+				for ri, rs := range sets {
+					mapped := mapSet(s, rs)
+					c := costmodel.Estimate(plan, p.N(), mapped, params, costmodel.GraphPi).Cost
+					if best < 0 || c < bestCost {
+						best, bestCost = ri, c
+					}
+				}
+				if sets[best].String() == gzSet.String() {
+					continue // same choice; the paper compares differing ones
+				}
+				cfgGP, err := core.NewConfig(p, s, sets[best])
+				if err != nil {
+					return nil, err
+				}
+				cfgGZ, err := core.NewConfig(p, s, gzSet)
+				if err != nil {
+					return nil, err
+				}
+				cGP := measureConfig(cfgGP, g, opt, false)
+				cGZ := measureConfig(cfgGZ, g, opt, false)
+				if cGP.TimedOut || cGZ.TimedOut {
+					continue
+				}
+				sp := cGP.Speedup(cGZ)
+				speedups = append(speedups, sp)
+				if sp > row.MaxSpeedup {
+					row.MaxSpeedup = sp
+				}
+			}
+			row.SchedulesCompared = len(speedups)
+			row.AvgSpeedup = geoMean(speedups)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func (r *Table2Result) Report(w io.Writer) {
+	writeHeader(w, "Table II: speedup from GraphPi's restriction-set selection")
+	fmt.Fprintf(w, "%-14s %-12s %10s %12s %12s\n",
+		"Graph", "Pattern", "#Scheds", "AvgSpeedup", "MaxSpeedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %-12s %10d %11.2fx %11.2fx\n",
+			row.Graph, row.Pattern, row.SchedulesCompared, row.AvgSpeedup, row.MaxSpeedup)
+	}
+}
+
+func mapSet(s schedule.Schedule, rs restrict.Set) [][2]uint8 {
+	raw := make([][2]uint8, len(rs))
+	for i, r := range rs {
+		raw[i] = [2]uint8{r.First, r.Second}
+	}
+	return schedule.MapRestrictions(s, raw)
+}
+
+// ---------------------------------------------------------------------------
+// Table III — preprocessing and configuration-generation overhead.
+
+// Table3Row is one pattern's preprocessing cost.
+type Table3Row struct {
+	Pattern        string
+	Overhead       time.Duration
+	NumSchedules   int
+	NumRestrSets   int
+	Configurations int
+}
+
+// Table3Result reproduces Table III.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// Table3 measures GraphPi's full preprocessing (restriction generation,
+// schedule generation, performance prediction, configuration compile) per
+// evaluation pattern. As in the paper, the overhead depends only on the
+// pattern, not on the data graph; representative graph statistics are used
+// for the prediction step.
+func Table3(opt Options) (*Table3Result, error) {
+	opt = opt.normalized()
+	g, err := loadGraph("WikiVote-S", opt)
+	if err != nil {
+		return nil, err
+	}
+	stats := g.Stats()
+	res := &Table3Result{}
+	for _, p := range evalPatterns() {
+		pr, err := core.Plan(p, stats, core.PlanOptions{})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table3Row{
+			Pattern:        p.Name(),
+			Overhead:       pr.PrepTime,
+			NumSchedules:   pr.NumSchedules,
+			NumRestrSets:   pr.NumRestrictionSets,
+			Configurations: pr.NumSchedules * pr.NumRestrictionSets,
+		})
+	}
+	return res, nil
+}
+
+func (r *Table3Result) Report(w io.Writer) {
+	writeHeader(w, "Table III: preprocessing overhead per pattern")
+	fmt.Fprintf(w, "%-14s %14s %10s %10s %10s\n",
+		"Pattern", "Overhead", "#Scheds", "#RestrSets", "#Configs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %14s %10d %10d %10d\n",
+			row.Pattern, row.Overhead.Round(10*time.Microsecond),
+			row.NumSchedules, row.NumRestrSets, row.Configurations)
+	}
+}

@@ -1,0 +1,37 @@
+package graph
+
+import "testing"
+
+func BenchmarkBuildBA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		BarabasiAlbert(20000, 8, uint64(i))
+	}
+}
+
+func BenchmarkTriangleCount(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := BarabasiAlbert(20000, 8, 7) // fresh graph: Triangles caches
+		b.StartTimer()
+		g.Triangles()
+	}
+}
+
+func BenchmarkNeighborsAccess(b *testing.B) {
+	g := BarabasiAlbert(20000, 8, 7)
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		v := uint32(i % g.NumVertices())
+		total += len(g.Neighbors(v))
+	}
+	_ = total
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := BarabasiAlbert(20000, 8, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(uint32(i%1000), uint32((i*7)%20000))
+	}
+}

@@ -1,0 +1,239 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// This file provides deterministic synthetic graph generators. They serve
+// two purposes: (1) fixtures for tests and property checks, and (2) the
+// dataset substitution layer — the paper evaluates on SNAP graphs that are
+// not redistributable here, so internal/dataset instantiates generators with
+// matched size/degree regimes (see DESIGN.md §3).
+
+// rng returns a deterministic PCG source for a given seed.
+func rng(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// Complete returns the complete graph K_n. Algorithm 1's validate step runs
+// pattern matching on complete graphs (§IV-A).
+func Complete(n int) *Graph {
+	b := NewBuilder(n, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(uint32(u), uint32(v))
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("graph: Complete(%d): %v", n, err))
+	}
+	g.SetName(fmt.Sprintf("K%d", n))
+	return g
+}
+
+// Cycle returns the cycle graph C_n (n >= 3).
+func Cycle(n int) *Graph {
+	b := NewBuilder(n, n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(uint32(v), uint32((v+1)%n))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("graph: Cycle(%d): %v", n, err))
+	}
+	g.SetName(fmt.Sprintf("C%d", n))
+	return g
+}
+
+// Star returns the star graph with one hub and n-1 leaves.
+func Star(n int) *Graph {
+	b := NewBuilder(n, n-1)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, uint32(v))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("graph: Star(%d): %v", n, err))
+	}
+	g.SetName(fmt.Sprintf("star%d", n))
+	return g
+}
+
+// Path returns the path graph P_n.
+func Path(n int) *Graph {
+	b := NewBuilder(n, n-1)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(uint32(v), uint32(v+1))
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("graph: Path(%d): %v", n, err))
+	}
+	g.SetName(fmt.Sprintf("path%d", n))
+	return g
+}
+
+// GNM returns a uniform random graph with n vertices and (up to) m distinct
+// edges — the Erdős–Rényi G(n, m) model. Low clustering, low skew: the
+// regime of the Patents citation graph.
+func GNM(n int, m int, seed uint64) *Graph {
+	r := rng(seed)
+	maxEdges := int64(n) * int64(n-1) / 2
+	if int64(m) > maxEdges {
+		m = int(maxEdges)
+	}
+	b := NewBuilder(n, m)
+	seen := make(map[uint64]bool, m)
+	for len(seen) < m {
+		u := uint32(r.IntN(n))
+		v := uint32(r.IntN(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	b.SetNumVertices(n)
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("graph: GNM(%d,%d): %v", n, m, err))
+	}
+	g.SetName(fmt.Sprintf("gnm-%d-%d", n, m))
+	return g
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: each new vertex
+// attaches to mPerVertex existing vertices chosen proportionally to degree.
+// Power-law degrees and high clustering: the regime of social graphs
+// (Wiki-Vote, LiveJournal, Orkut).
+func BarabasiAlbert(n, mPerVertex int, seed uint64) *Graph {
+	if mPerVertex < 1 {
+		mPerVertex = 1
+	}
+	if n <= mPerVertex {
+		return Complete(n)
+	}
+	r := rng(seed)
+	b := NewBuilder(n, n*mPerVertex)
+	// Seed clique over the first mPerVertex+1 vertices.
+	for u := 0; u <= mPerVertex; u++ {
+		for v := u + 1; v <= mPerVertex; v++ {
+			b.AddEdge(uint32(u), uint32(v))
+		}
+	}
+	// endpoints holds one entry per edge endpoint; uniform sampling from it
+	// is degree-proportional sampling.
+	endpoints := make([]uint32, 0, 2*n*mPerVertex)
+	for u := 0; u <= mPerVertex; u++ {
+		for v := u + 1; v <= mPerVertex; v++ {
+			endpoints = append(endpoints, uint32(u), uint32(v))
+		}
+	}
+	targets := make(map[uint32]bool, mPerVertex)
+	picked := make([]uint32, 0, mPerVertex)
+	for v := mPerVertex + 1; v < n; v++ {
+		clear(targets)
+		picked = picked[:0]
+		for len(picked) < mPerVertex {
+			t := endpoints[r.IntN(len(endpoints))]
+			if !targets[t] {
+				targets[t] = true
+				picked = append(picked, t)
+			}
+		}
+		// picked preserves draw order, keeping the generator deterministic
+		// (map iteration order would leak into later samples).
+		for _, t := range picked {
+			b.AddEdge(uint32(v), t)
+			endpoints = append(endpoints, uint32(v), t)
+		}
+	}
+	b.SetNumVertices(n)
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("graph: BarabasiAlbert(%d,%d): %v", n, mPerVertex, err))
+	}
+	g.SetName(fmt.Sprintf("ba-%d-%d", n, mPerVertex))
+	return g
+}
+
+// RMAT returns a recursive-matrix random graph with 2^scale vertices and
+// approximately edges distinct edges, using the standard (a,b,c,d) quadrant
+// probabilities. Heavy skew: the regime of the Twitter follower graph.
+// Duplicate and self-loop samples are dropped, so the realized edge count can
+// fall slightly short of the request.
+func RMAT(scale int, edges int, a, b, c float64, seed uint64) *Graph {
+	r := rng(seed)
+	n := 1 << scale
+	bld := NewBuilder(n, edges)
+	seen := make(map[uint64]bool, edges)
+	attempts := 0
+	maxAttempts := edges * 8
+	for len(seen) < edges && attempts < maxAttempts {
+		attempts++
+		u, v := 0, 0
+		for bit := scale - 1; bit >= 0; bit-- {
+			p := r.Float64()
+			switch {
+			case p < a: // top-left
+			case p < a+b: // top-right
+				v |= 1 << bit
+			case p < a+b+c: // bottom-left
+				u |= 1 << bit
+			default: // bottom-right
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		lo, hi := uint32(u), uint32(v)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		key := uint64(lo)<<32 | uint64(hi)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		bld.AddEdge(lo, hi)
+	}
+	bld.SetNumVertices(n)
+	g, err := bld.Build()
+	if err != nil {
+		panic(fmt.Sprintf("graph: RMAT(%d,%d): %v", scale, edges, err))
+	}
+	g.SetName(fmt.Sprintf("rmat-%d-%d", scale, edges))
+	return g
+}
+
+// GNP returns an Erdős–Rényi G(n, p) graph. Intended for small test
+// fixtures; for large sparse graphs prefer GNM.
+func GNP(n int, p float64, seed uint64) *Graph {
+	r := rng(seed)
+	b := NewBuilder(n, int(p*float64(n)*float64(n-1)/2)+1)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Float64() < p {
+				b.AddEdge(uint32(u), uint32(v))
+			}
+		}
+	}
+	b.SetNumVertices(n)
+	g, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("graph: GNP(%d,%g): %v", n, p, err))
+	}
+	g.SetName(fmt.Sprintf("gnp-%d-%g", n, p))
+	return g
+}

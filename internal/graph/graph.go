@@ -1,0 +1,350 @@
+// Package graph provides the data-graph substrate of GraphPi: an immutable
+// undirected graph in compressed sparse row (CSR) form with sorted adjacency
+// lists, plus the structural statistics (|V|, |E|, triangle count) the
+// GraphPi performance model consumes (§IV-C of the paper).
+//
+// The representation follows §IV-E of the paper: "GraphPi stores graphs in
+// the compressed sparse row (CSR) format, that is, the neighborhood of a
+// vertex is sorted and continuous in memory." All vertex identifiers are
+// dense uint32 indices in [0, NumVertices).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"graphpi/internal/vertexset"
+)
+
+// MaxVertices bounds the number of vertices a Graph can hold. Vertex ids are
+// uint32 and one id is reserved so that id+1 arithmetic cannot overflow.
+const MaxVertices = 1<<32 - 2
+
+// Graph is an immutable undirected graph in CSR form. Self-loops and
+// parallel edges are removed at construction. The zero value is an empty
+// graph with no vertices.
+type Graph struct {
+	offsets []int64  // len NumVertices+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []uint32 // concatenated ascending neighbor lists
+
+	name string // optional dataset label, used in reports
+
+	triOnce sync.Once
+	tri     int64 // cached triangle count
+
+	maxDegOnce sync.Once
+	maxDeg     int
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int {
+	if g.offsets == nil {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges returns |E|, counting each undirected edge once.
+func (g *Graph) NumEdges() int64 {
+	if g.offsets == nil {
+		return 0
+	}
+	return g.offsets[len(g.offsets)-1] / 2
+}
+
+// Name returns the dataset label, or "" if none was set.
+func (g *Graph) Name() string { return g.name }
+
+// SetName attaches a dataset label used by reports and experiment output.
+func (g *Graph) SetName(name string) { g.name = name }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v uint32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the ascending neighbor list of v. The returned slice
+// aliases the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v uint32) []uint32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.
+func (g *Graph) HasEdge(u, v uint32) bool {
+	// Probe the smaller adjacency.
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	return vertexset.Contains(g.Neighbors(u), v)
+}
+
+// MaxDegree returns the maximum vertex degree (0 for an empty graph).
+// The scan is performed once and cached.
+func (g *Graph) MaxDegree() int {
+	g.maxDegOnce.Do(func() {
+		for v := 0; v < g.NumVertices(); v++ {
+			if d := g.Degree(uint32(v)); d > g.maxDeg {
+				g.maxDeg = d
+			}
+		}
+	})
+	return g.maxDeg
+}
+
+// AvgDegree returns 2|E| / |V| (0 for an empty graph).
+func (g *Graph) AvgDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return 2 * float64(g.NumEdges()) / float64(n)
+}
+
+// Triangles returns the number of triangles in the graph. The first call
+// computes the count with a degree-ordered forward-adjacency intersection
+// (O(E^1.5)); subsequent calls return the cached value. The paper treats the
+// triangle count as a constant of the immutable data graph (§IV-C).
+func (g *Graph) Triangles() int64 {
+	g.triOnce.Do(func() { g.tri = g.countTriangles() })
+	return g.tri
+}
+
+func (g *Graph) countTriangles() int64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	// rank orders vertices by (degree, id); forward edges point from lower
+	// to higher rank, so every triangle is counted exactly once and forward
+	// degrees are O(sqrt(E)) bounded on average.
+	rank := make([]uint32, n)
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+	for r, v := range order {
+		rank[v] = uint32(r)
+	}
+	fwdOff := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		cnt := int64(0)
+		for _, w := range g.Neighbors(uint32(v)) {
+			if rank[w] > rank[v] {
+				cnt++
+			}
+		}
+		fwdOff[v+1] = fwdOff[v] + cnt
+	}
+	fwd := make([]uint32, fwdOff[n])
+	fill := make([]int64, n)
+	copy(fill, fwdOff[:n])
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(uint32(v)) {
+			if rank[w] > rank[uint32(v)] {
+				fwd[fill[v]] = w
+				fill[v]++
+			}
+		}
+	}
+	// Forward lists inherit ascending id order from the CSR adjacency, so
+	// the merge intersection applies directly.
+	var total int64
+	for v := 0; v < n; v++ {
+		fv := fwd[fwdOff[v]:fwdOff[v+1]]
+		for _, w := range fv {
+			fw := fwd[fwdOff[w]:fwdOff[w+1]]
+			total += int64(vertexset.IntersectSize(fv, fw))
+		}
+	}
+	return total
+}
+
+// Stats bundles the structural information the GraphPi performance model
+// uses: |V|, |E| and the triangle count, from which the paper's p1 and p2
+// probabilities derive (§IV-C).
+type Stats struct {
+	Vertices  int
+	Edges     int64
+	Triangles int64
+	MaxDegree int
+	AvgDegree float64
+}
+
+// Stats computes the graph's structural statistics (triangle count included,
+// so the first call on a large graph is not free).
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Vertices:  g.NumVertices(),
+		Edges:     g.NumEdges(),
+		Triangles: g.Triangles(),
+		MaxDegree: g.MaxDegree(),
+		AvgDegree: g.AvgDegree(),
+	}
+}
+
+// P1 returns the paper's p1 = 2|E| / |V|^2: the probability that an
+// arbitrary vertex pair is connected.
+func (s Stats) P1() float64 {
+	if s.Vertices == 0 {
+		return 0
+	}
+	v := float64(s.Vertices)
+	return 2 * float64(s.Edges) / (v * v)
+}
+
+// P2 returns the paper's p2 = tri_cnt * |V| / (2|E|)^2: the probability that
+// two vertices sharing a neighbor are themselves connected.
+func (s Stats) P2() float64 {
+	if s.Edges == 0 {
+		return 0
+	}
+	e2 := 2 * float64(s.Edges)
+	return float64(s.Triangles) * float64(s.Vertices) / (e2 * e2)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("|V|=%d |E|=%d tri=%d maxdeg=%d avgdeg=%.2f",
+		s.Vertices, s.Edges, s.Triangles, s.MaxDegree, s.AvgDegree)
+}
+
+// Builder accumulates edges and produces an immutable CSR Graph.
+// The zero value is ready to use. Builders must not be shared across
+// goroutines without external synchronization.
+type Builder struct {
+	n     int
+	edges []uint64 // packed min<<32 | max
+}
+
+// NewBuilder returns a Builder pre-sized for a graph with n vertices and
+// capacity for m edges. n may grow automatically as edges are added.
+func NewBuilder(n int, m int) *Builder {
+	return &Builder{n: n, edges: make([]uint64, 0, m)}
+}
+
+// SetNumVertices raises the vertex count to at least n (isolated vertices
+// are legal and appear with empty adjacency).
+func (b *Builder) SetNumVertices(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored;
+// duplicates are removed at Build time. The vertex count grows to cover the
+// endpoints.
+func (b *Builder) AddEdge(u, v uint32) {
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if int(v)+1 > b.n {
+		b.n = int(v) + 1
+	}
+	b.edges = append(b.edges, uint64(u)<<32|uint64(v))
+}
+
+// NumPendingEdges returns the number of edges recorded so far, before
+// deduplication.
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build produces the immutable CSR graph. The builder can be reused after
+// Build; its recorded edges are retained.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n > MaxVertices {
+		return nil, fmt.Errorf("graph: %d vertices exceeds limit %d", b.n, MaxVertices)
+	}
+	sorted := make([]uint64, len(b.edges))
+	copy(sorted, b.edges)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Dedupe in place.
+	uniq := sorted[:0]
+	var prev uint64
+	for i, e := range sorted {
+		if i == 0 || e != prev {
+			uniq = append(uniq, e)
+			prev = e
+		}
+	}
+	n := b.n
+	g := &Graph{offsets: make([]int64, n+1)}
+	deg := make([]int64, n)
+	for _, e := range uniq {
+		deg[e>>32]++
+		deg[uint32(e)]++
+	}
+	for v := 0; v < n; v++ {
+		g.offsets[v+1] = g.offsets[v] + deg[v]
+	}
+	g.adj = make([]uint32, g.offsets[n])
+	fill := make([]int64, n)
+	copy(fill, g.offsets[:n])
+	for _, e := range uniq {
+		u, v := uint32(e>>32), uint32(e)
+		g.adj[fill[u]] = v
+		fill[u]++
+		g.adj[fill[v]] = u
+		fill[v]++
+	}
+	// Each neighborhood received its entries in two ascending interleaved
+	// streams (edges sorted by (min,max)); sort per neighborhood to restore
+	// the strict ascending invariant.
+	for v := 0; v < n; v++ {
+		nb := g.adj[g.offsets[v]:g.offsets[v+1]]
+		if !vertexset.IsSorted(nb) {
+			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		}
+	}
+	return g, nil
+}
+
+// FromEdges builds a graph with n vertices from an explicit edge list.
+func FromEdges(n int, edges [][2]uint32) (*Graph, error) {
+	b := NewBuilder(n, len(edges))
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	b.SetNumVertices(n)
+	return b.Build()
+}
+
+// Validate checks the CSR invariants (monotone offsets, sorted duplicate-free
+// neighborhoods, symmetry, no self-loops). It is O(E log E) and intended for
+// tests and loaders, not hot paths.
+func (g *Graph) Validate() error {
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", v)
+		}
+		nb := g.Neighbors(uint32(v))
+		if !vertexset.IsSorted(nb) {
+			return fmt.Errorf("graph: adjacency of %d not strictly ascending", v)
+		}
+		for _, w := range nb {
+			if int(w) >= n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if w == uint32(v) {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if !vertexset.Contains(g.Neighbors(w), uint32(v)) {
+				return fmt.Errorf("graph: edge {%d,%d} not symmetric", v, w)
+			}
+		}
+	}
+	return nil
+}
+
+// ErrEmptyGraph is returned by operations that need at least one vertex.
+var ErrEmptyGraph = errors.New("graph: empty graph")

@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// This file implements the two on-disk formats GraphPi works with:
+//
+//   - a whitespace-separated edge-list text format (the form the paper's
+//     datasets ship in; "users only need to input a pattern and a data graph
+//     in the form of adjacency lists", §III), and
+//   - a fast binary CSR snapshot so large synthetic datasets need to be
+//     generated only once.
+
+// ReadEdgeList parses a whitespace-separated edge list. Lines starting with
+// '#', '%' or '//' are comments. Vertex ids must be non-negative integers;
+// ids are used as-is (dense renumbering is the caller's concern, see
+// CompactIDs). The graph is undirected: "u v" and "v u" are the same edge.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	b := NewBuilder(0, 1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected two vertex ids, got %q", lineNo, line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex id %q: %v", lineNo, fields[0], err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad vertex id %q: %v", lineNo, fields[1], err)
+		}
+		b.AddEdge(uint32(u), uint32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: reading edge list: %w", err)
+	}
+	return b.Build()
+}
+
+// LoadEdgeListFile reads an edge-list file from disk.
+func LoadEdgeListFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadEdgeList(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes the graph as an edge list, one undirected edge per
+// line with the smaller endpoint first.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	n := g.NumVertices()
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if u > uint32(v) {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+const binaryMagic = "GPiCSR1\n"
+
+// WriteBinary writes the CSR arrays in a little-endian binary snapshot.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	n := int64(g.NumVertices())
+	if err := binary.Write(bw, binary.LittleEndian, n); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a snapshot produced by WriteBinary and validates its
+// structural invariants before returning.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graph: reading binary header: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var n int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("graph: reading vertex count: %w", err)
+	}
+	if n < 0 || n > MaxVertices {
+		return nil, fmt.Errorf("graph: invalid vertex count %d", n)
+	}
+	g := &Graph{offsets: make([]int64, n+1)}
+	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	total := g.offsets[n]
+	if total < 0 {
+		return nil, fmt.Errorf("graph: negative adjacency length %d", total)
+	}
+	g.adj = make([]uint32, total)
+	if err := binary.Read(br, binary.LittleEndian, g.adj); err != nil {
+		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: corrupt snapshot: %w", err)
+	}
+	return g, nil
+}
+
+// SaveBinaryFile writes the graph snapshot to path.
+func SaveBinaryFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBinaryFile reads a snapshot from path.
+func LoadBinaryFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadBinary(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+// CompactIDs returns a copy of g with isolated vertices removed and the
+// remaining vertices renumbered densely, preserving relative order. SNAP
+// edge lists frequently have sparse id spaces; compacting keeps CSR arrays
+// proportional to the live vertex count.
+func CompactIDs(g *Graph) (*Graph, error) {
+	n := g.NumVertices()
+	remap := make([]uint32, n)
+	next := uint32(0)
+	for v := 0; v < n; v++ {
+		if g.Degree(uint32(v)) > 0 {
+			remap[v] = next
+			next++
+		}
+	}
+	b := NewBuilder(int(next), int(g.NumEdges()))
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(uint32(v)) {
+			if u > uint32(v) {
+				b.AddEdge(remap[v], remap[u])
+			}
+		}
+	}
+	b.SetNumVertices(int(next))
+	out, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	out.SetName(g.Name())
+	return out, nil
+}

@@ -1,0 +1,255 @@
+// Package iep implements GraphPi's counting optimization based on the
+// Inclusion-Exclusion Principle (paper §IV-D, Algorithm 2).
+//
+// When a configuration's innermost k loops carry no intersection work (their
+// pattern vertices are pairwise non-adjacent — guaranteed by Phase 2 of the
+// schedule generator), counting does not need to enumerate those loops. With
+// S_1 … S_k the candidate sets of the k vertices, the number of k-tuples
+// (e_1, …, e_k), e_i ∈ S_i, with all entries distinct is
+//
+//	|S_IEP| = Σ_π μ(π) · Π_{B ∈ π} |∩_{i∈B} S_i|
+//
+// summed over the set partitions π of {1..k} with Möbius coefficient
+// μ(π) = Π_B (−1)^{|B|−1}(|B|−1)!. This closed form is algebraically equal
+// to the paper's Algorithm 2 (inclusion–exclusion over subsets of the
+// equality pairs A_{i,j}, grouping each subset by the connected components
+// of its pair graph); the partition form simply merges the subsets that
+// share a component structure. Both forms are implemented here and
+// cross-checked in tests; the engine uses the partition form.
+package iep
+
+import (
+	"math/bits"
+
+	"graphpi/internal/vertexset"
+)
+
+// MaxK bounds the supported number of innermost IEP loops. Bell(8) = 4140
+// partition terms is still trivial; pattern sizes cap k well below this.
+const MaxK = 8
+
+// Term is one partition of {0..k-1}: Blocks holds one bitmask per block and
+// Coef its Möbius coefficient.
+type Term struct {
+	Blocks []uint16
+	Coef   int64
+}
+
+// Terms enumerates all set partitions of {0..k-1} with their coefficients,
+// in a deterministic order.
+func Terms(k int) []Term {
+	if k < 1 || k > MaxK {
+		panic("iep: k out of range")
+	}
+	var out []Term
+	var blocks []uint16
+	var rec func(next int)
+	rec = func(next int) {
+		if next == k {
+			t := Term{Blocks: append([]uint16(nil), blocks...), Coef: 1}
+			for _, b := range t.Blocks {
+				c := bits.OnesCount16(b)
+				t.Coef *= signedFactorial(c)
+			}
+			out = append(out, t)
+			return
+		}
+		// Element `next` joins an existing block or starts a new one.
+		for i := range blocks {
+			blocks[i] |= 1 << next
+			rec(next + 1)
+			blocks[i] &^= 1 << next
+		}
+		blocks = append(blocks, 1<<next)
+		rec(next + 1)
+		blocks = blocks[:len(blocks)-1]
+	}
+	rec(0)
+	return out
+}
+
+// signedFactorial returns (−1)^(c−1) · (c−1)! — the Möbius coefficient of a
+// block of size c in the partition lattice.
+func signedFactorial(c int) int64 {
+	f := int64(1)
+	for i := 2; i < c; i++ {
+		f *= int64(i)
+	}
+	if c%2 == 0 {
+		f = -f
+	}
+	return f
+}
+
+// Calculator computes |S_IEP| for fixed k with reusable buffers; one
+// Calculator per worker, not safe for concurrent use.
+type Calculator struct {
+	k     int
+	terms []Term
+	// memo state, reset per Count call.
+	cards [1 << MaxK]int64
+	valid [1 << MaxK]bool
+	// materialized intersections per mask (lazily built, reused storage).
+	inter   [1 << MaxK][]uint32
+	scratch []uint32
+}
+
+// NewCalculator builds a Calculator for k innermost loops.
+func NewCalculator(k int) *Calculator {
+	return &Calculator{k: k, terms: Terms(k)}
+}
+
+// K returns the calculator's k.
+func (c *Calculator) K() int { return c.k }
+
+// Count returns the number of distinct-entry tuples (e_1,…,e_k) with
+// e_i ∈ sets[i] \ excluded. sets[i] must be ascending; excluded is the list
+// of already-bound data vertices (not necessarily sorted, typically tiny).
+func (c *Calculator) Count(sets [][]uint32, excluded []uint32) int64 {
+	if len(sets) != c.k {
+		panic("iep: set count mismatch")
+	}
+	// Early exit: an empty candidate set annihilates every term.
+	for i, s := range sets {
+		c.valid[uint16(1)<<i] = false
+		if len(s) == 0 {
+			return 0
+		}
+	}
+	for m := range c.valid[:1<<c.k] {
+		c.valid[m] = false
+	}
+	var total int64
+	for _, t := range c.terms {
+		prod := t.Coef
+		for _, b := range t.Blocks {
+			card := c.card(b, sets, excluded)
+			if card == 0 {
+				prod = 0
+				break
+			}
+			prod *= card
+		}
+		total += prod
+	}
+	return total
+}
+
+// card returns |∩_{i∈mask} sets[i]| minus the excluded vertices present in
+// that intersection, memoized per mask.
+func (c *Calculator) card(mask uint16, sets [][]uint32, excluded []uint32) int64 {
+	if c.valid[mask] {
+		return c.cards[mask]
+	}
+	set := c.intersection(mask, sets)
+	n := int64(len(set))
+	n -= excludedHits(set, excluded)
+	c.cards[mask] = n
+	c.valid[mask] = true
+	return n
+}
+
+// excludedHits counts how many distinct excluded vertices appear in the
+// sorted set (duplicates in excluded are tolerated and counted once).
+func excludedHits(set []uint32, excluded []uint32) int64 {
+	var n int64
+outer:
+	for i, x := range excluded {
+		for _, prev := range excluded[:i] {
+			if prev == x {
+				continue outer
+			}
+		}
+		if vertexset.Contains(set, x) {
+			n++
+		}
+	}
+	return n
+}
+
+// intersection materializes ∩_{i∈mask} sets[i] (raw, without exclusion).
+// Singleton masks alias the input set. Multi-bit masks are built from the
+// intersection of the mask minus its highest bit with that bit's set,
+// reusing the calculator's per-mask storage.
+func (c *Calculator) intersection(mask uint16, sets [][]uint32) []uint32 {
+	if bits.OnesCount16(mask) == 1 {
+		return sets[bits.TrailingZeros16(mask)]
+	}
+	hi := 15 - bits.LeadingZeros16(mask)
+	rest := mask &^ (1 << hi)
+	left := c.intersection(rest, sets)
+	c.inter[mask] = vertexset.Intersect(c.inter[mask][:0], left, sets[hi])
+	return c.inter[mask]
+}
+
+// CountPairSubsets is the paper-literal Algorithm 2 path: inclusion–
+// exclusion over all subsets of the C(k,2) equality pairs A_{i,j}, computing
+// each subset's cardinality as the product over the connected components of
+// its pair graph of the component intersection cardinality. Exponentially
+// more terms than Count (2^C(k,2)); retained as the executable
+// specification for cross-checking.
+func CountPairSubsets(sets [][]uint32, excluded []uint32) int64 {
+	k := len(sets)
+	if k == 0 {
+		return 0
+	}
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			pairs = append(pairs, pair{i, j})
+		}
+	}
+	cardOf := func(mask uint16) int64 {
+		var members [][]uint32
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				members = append(members, sets[i])
+			}
+		}
+		set := vertexset.IntersectMulti(nil, nil, members...)
+		return int64(len(set)) - excludedHits(set, excluded)
+	}
+	var total int64
+	for sub := 0; sub < 1<<len(pairs); sub++ {
+		// Union-find over the pair graph of this subset.
+		parent := make([]int, k)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		popcount := 0
+		for pi, p := range pairs {
+			if sub&(1<<pi) != 0 {
+				popcount++
+				parent[find(p.i)] = find(p.j)
+			}
+		}
+		// Product over components.
+		prod := int64(1)
+		for root := 0; root < k && prod != 0; root++ {
+			if find(root) != root {
+				continue
+			}
+			var mask uint16
+			for i := 0; i < k; i++ {
+				if find(i) == root {
+					mask |= 1 << i
+				}
+			}
+			prod *= cardOf(mask)
+		}
+		if popcount%2 == 1 {
+			prod = -prod
+		}
+		total += prod
+	}
+	return total
+}

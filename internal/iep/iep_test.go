@@ -1,0 +1,204 @@
+package iep
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+// bruteDistinctTuples counts distinct-entry tuples by explicit enumeration.
+func bruteDistinctTuples(sets [][]uint32, excluded []uint32) int64 {
+	ex := map[uint32]bool{}
+	for _, x := range excluded {
+		ex[x] = true
+	}
+	var count int64
+	var tuple []uint32
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(sets) {
+			count++
+			return
+		}
+	next:
+		for _, v := range sets[i] {
+			if ex[v] {
+				continue
+			}
+			for _, u := range tuple {
+				if u == v {
+					continue next
+				}
+			}
+			tuple = append(tuple, v)
+			rec(i + 1)
+			tuple = tuple[:len(tuple)-1]
+		}
+	}
+	rec(0)
+	return count
+}
+
+func TestTermsCounts(t *testing.T) {
+	// Bell numbers: partitions of k elements.
+	want := map[int]int{1: 1, 2: 2, 3: 5, 4: 15, 5: 52}
+	for k, w := range want {
+		if got := len(Terms(k)); got != w {
+			t.Errorf("Terms(%d) has %d partitions, want %d", k, got, w)
+		}
+	}
+}
+
+func TestTermsK2(t *testing.T) {
+	// k=2: {{0},{1}} coef +1 and {{0,1}} coef −1.
+	terms := Terms(2)
+	plus, minus := 0, 0
+	for _, tm := range terms {
+		switch len(tm.Blocks) {
+		case 2:
+			if tm.Coef != 1 {
+				t.Errorf("singleton partition coef = %d", tm.Coef)
+			}
+			plus++
+		case 1:
+			if tm.Coef != -1 {
+				t.Errorf("merged partition coef = %d", tm.Coef)
+			}
+			minus++
+		}
+	}
+	if plus != 1 || minus != 1 {
+		t.Errorf("k=2 terms = %v", terms)
+	}
+}
+
+func TestCountSimple(t *testing.T) {
+	s1 := []uint32{1, 2, 3}
+	s2 := []uint32{2, 3, 4}
+	c := NewCalculator(2)
+	// Pairs (a,b), a∈s1, b∈s2, a≠b: 3×3 − |{2,3}| = 7.
+	if got := c.Count([][]uint32{s1, s2}, nil); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	// Excluding 2 from both: s1'={1,3}, s2'={3,4}: 2×2−1 = 3.
+	if got := c.Count([][]uint32{s1, s2}, []uint32{2}); got != 3 {
+		t.Errorf("Count with exclusion = %d, want 3", got)
+	}
+	// Empty set → 0.
+	if got := c.Count([][]uint32{s1, {}}, nil); got != 0 {
+		t.Errorf("Count with empty set = %d, want 0", got)
+	}
+}
+
+func TestCountIdenticalSets(t *testing.T) {
+	// k sets all equal to an m-element set count falling factorials:
+	// m·(m−1)·…·(m−k+1).
+	m := 6
+	set := make([]uint32, m)
+	for i := range set {
+		set[i] = uint32(i * 2)
+	}
+	for k := 1; k <= 4; k++ {
+		sets := make([][]uint32, k)
+		for i := range sets {
+			sets[i] = set
+		}
+		want := int64(1)
+		for i := 0; i < k; i++ {
+			want *= int64(m - i)
+		}
+		if got := NewCalculator(k).Count(sets, nil); got != want {
+			t.Errorf("k=%d: Count = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func randSets(r *rand.Rand, k int) [][]uint32 {
+	sets := make([][]uint32, k)
+	for i := range sets {
+		n := r.IntN(8)
+		seen := map[uint32]bool{}
+		for len(seen) < n {
+			seen[uint32(r.IntN(15))] = true
+		}
+		s := make([]uint32, 0, n)
+		for v := uint32(0); v < 15; v++ {
+			if seen[v] {
+				s = append(s, v)
+			}
+		}
+		sets[i] = s
+	}
+	return sets
+}
+
+func TestCountMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 77))
+		k := 1 + r.IntN(4)
+		sets := randSets(r, k)
+		var excluded []uint32
+		for i := 0; i < r.IntN(3); i++ {
+			excluded = append(excluded, uint32(r.IntN(15)))
+		}
+		want := bruteDistinctTuples(sets, excluded)
+		got := NewCalculator(k).Count(sets, excluded)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionFormEqualsPairSubsetForm(t *testing.T) {
+	// The engine's partition form must agree with the paper-literal
+	// Algorithm 2 (subsets of equality pairs) on random inputs.
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 123))
+		k := 1 + r.IntN(4)
+		sets := randSets(r, k)
+		var excluded []uint32
+		for i := 0; i < r.IntN(3); i++ {
+			excluded = append(excluded, uint32(r.IntN(15)))
+		}
+		return NewCalculator(k).Count(sets, excluded) == CountPairSubsets(sets, excluded)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalculatorReuse(t *testing.T) {
+	// Repeated Count calls must not leak memo state between invocations.
+	c := NewCalculator(2)
+	a := [][]uint32{{1, 2}, {1, 2}}
+	b := [][]uint32{{5, 6, 7}, {6, 7, 8}}
+	first := c.Count(a, nil)
+	second := c.Count(b, nil)
+	third := c.Count(a, nil)
+	if first != third {
+		t.Errorf("memo leak: %d vs %d", first, third)
+	}
+	if second != bruteDistinctTuples(b, nil) {
+		t.Errorf("second = %d", second)
+	}
+}
+
+func TestCountPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched set count did not panic")
+		}
+	}()
+	NewCalculator(3).Count([][]uint32{{1}}, nil)
+}
+
+func TestTermsPanicsOutOfRange(t *testing.T) {
+	for _, k := range []int{0, MaxK + 1} {
+		func() {
+			defer func() { recover() }()
+			Terms(k)
+			t.Errorf("Terms(%d) did not panic", k)
+		}()
+	}
+}

@@ -1,0 +1,135 @@
+// Package labeled extends GraphPi to vertex-labeled pattern matching, the
+// extension the paper states its methods admit ("all patterns and data
+// graphs are assumed to be undirected and unlabeled graphs, although all
+// methods proposed in this paper can be easily extended to directed and
+// labeled graphs", §II-A).
+//
+// The implementation layers labels on top of the unlabeled engine without
+// touching it, which keeps every redundancy-elimination guarantee intact:
+//
+//  1. The unlabeled engine enumerates each subgraph isomorphic to the
+//     pattern's *shape* exactly once (complete restriction set).
+//  2. For each enumerated subgraph, the automorphisms of the shape are the
+//     only alternative correspondences; we count how many of them satisfy
+//     the label constraints.
+//  3. Two label-consistent correspondences denote the same labeled
+//     embedding iff they differ by a *label-preserving* automorphism, so
+//     the subgraph contributes (consistent correspondences) / |Aut_labeled|
+//     labeled embeddings — an exact integer by the coset argument.
+//
+// This trades some throughput (labels do not prune the search) for zero
+// risk to the unlabeled kernels; a fully label-pruned engine is the natural
+// next optimization and would slot into the candidate computation.
+package labeled
+
+import (
+	"fmt"
+
+	"graphpi/internal/core"
+	"graphpi/internal/graph"
+	"graphpi/internal/pattern"
+	"graphpi/internal/perm"
+)
+
+// Label is a vertex label. The zero value is a valid label.
+type Label uint16
+
+// Wildcard matches any data-graph label when used in a pattern.
+const Wildcard Label = 0xFFFF
+
+// Pattern is a vertex-labeled query pattern.
+type Pattern struct {
+	Shape  *pattern.Pattern
+	Labels []Label // len = Shape.N(); Wildcard entries match anything
+}
+
+// NewPattern pairs a shape with per-vertex labels.
+func NewPattern(shape *pattern.Pattern, labels []Label) (*Pattern, error) {
+	if len(labels) != shape.N() {
+		return nil, fmt.Errorf("labeled: %d labels for %d vertices", len(labels), shape.N())
+	}
+	return &Pattern{Shape: shape, Labels: append([]Label(nil), labels...)}, nil
+}
+
+// labelAutomorphisms splits the shape's automorphisms into all vs
+// label-preserving.
+func (p *Pattern) labelAutomorphisms() (all, preserving []perm.Perm) {
+	all = p.Shape.Automorphisms()
+	for _, a := range all {
+		ok := true
+		for v := 0; v < p.Shape.N(); v++ {
+			if p.Labels[v] != p.Labels[a[v]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			preserving = append(preserving, a)
+		}
+	}
+	return all, preserving
+}
+
+// Count returns the number of labeled embeddings of p in g, where
+// vertexLabels[v] is the label of data vertex v (len = g.NumVertices()).
+func Count(g *graph.Graph, vertexLabels []Label, p *Pattern, opt core.RunOptions) (int64, error) {
+	if len(vertexLabels) != g.NumVertices() {
+		return 0, fmt.Errorf("labeled: %d labels for %d vertices", len(vertexLabels), g.NumVertices())
+	}
+	res, err := core.Plan(p.Shape, g.Stats(), core.PlanOptions{})
+	if err != nil {
+		return 0, err
+	}
+	auts, preserving := p.labelAutomorphisms()
+	nLab := int64(len(preserving))
+	n := p.Shape.N()
+
+	// Enumerate may invoke the visitor concurrently; funnel per-subgraph
+	// tallies through a channel to a single accumulator.
+	var total int64
+	done := make(chan int64, 1)
+	partial := make(chan int64, 1024)
+	go func() {
+		var sum int64
+		for v := range partial {
+			sum += v
+		}
+		done <- sum
+	}()
+	res.Best.Enumerate(g, opt, func(emb []uint32) bool {
+		var consistent int64
+		for _, a := range auts {
+			ok := true
+			for v := 0; v < n; v++ {
+				want := p.Labels[v]
+				if want == Wildcard {
+					continue
+				}
+				if vertexLabels[emb[a[v]]] != Label(want) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				consistent++
+			}
+		}
+		if consistent > 0 {
+			partial <- consistent
+		}
+		return true
+	})
+	close(partial)
+	total = <-done
+	return total / nLab, nil
+}
+
+// AssignLabelsRoundRobin produces a deterministic label assignment for
+// tests and examples: vertex v gets label v mod numLabels.
+func AssignLabelsRoundRobin(n int, numLabels int) []Label {
+	out := make([]Label, n)
+	for v := range out {
+		out[v] = Label(v % numLabels)
+	}
+	return out
+}

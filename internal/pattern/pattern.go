@@ -1,0 +1,350 @@
+// Package pattern represents the small query graphs ("patterns") GraphPi
+// searches for, along with the structural analyses the rest of the pipeline
+// needs: automorphism enumeration (feeding the restriction generator of
+// §IV-A), connectivity of vertex prefixes (Phase 1 of the schedule generator,
+// §IV-B) and the maximum independent set size k (Phase 2 and the IEP
+// optimization, §IV-B/D).
+//
+// Patterns are tiny (the paper evaluates 5–7 vertices) so everything here is
+// allowed to be exponential in the pattern size; nothing in this package
+// touches the data graph.
+package pattern
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"graphpi/internal/perm"
+)
+
+// MaxVertices is the largest supported pattern size. Brute-force
+// automorphism enumeration is n! so 12 is already generous; the paper's
+// patterns have at most 7 vertices.
+const MaxVertices = 12
+
+// Pattern is an undirected, unlabeled query graph over vertices
+// {0, …, N()-1}, stored as per-vertex neighbor bitmasks. Patterns are
+// immutable after construction.
+type Pattern struct {
+	n    int
+	adj  []uint16 // adj[i] has bit j set iff edge {i,j} exists
+	name string
+}
+
+// New builds a pattern with n vertices and the given undirected edges.
+// Self-loops and out-of-range endpoints are rejected; duplicate edges are
+// tolerated.
+func New(n int, edges [][2]int, name string) (*Pattern, error) {
+	if n < 1 || n > MaxVertices {
+		return nil, fmt.Errorf("pattern: %d vertices out of range [1,%d]", n, MaxVertices)
+	}
+	p := &Pattern{n: n, adj: make([]uint16, n), name: name}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("pattern: edge {%d,%d} out of range for %d vertices", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("pattern: self-loop at %d", u)
+		}
+		p.adj[u] |= 1 << v
+		p.adj[v] |= 1 << u
+	}
+	return p, nil
+}
+
+// MustNew is New, panicking on error; for statically known patterns.
+func MustNew(n int, edges [][2]int, name string) *Pattern {
+	p, err := New(n, edges, name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseAdjacency builds a pattern from a row-major adjacency-matrix string
+// of '0'/'1' characters of length n², the input format the GraphPi reference
+// implementation uses. The matrix must be symmetric with a zero diagonal.
+func ParseAdjacency(n int, matrix string, name string) (*Pattern, error) {
+	if len(matrix) != n*n {
+		return nil, fmt.Errorf("pattern: adjacency string has %d chars, want %d", len(matrix), n*n)
+	}
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c := matrix[i*n+j]
+			if c != '0' && c != '1' {
+				return nil, fmt.Errorf("pattern: bad adjacency char %q", c)
+			}
+			set := c == '1'
+			if i == j && set {
+				return nil, fmt.Errorf("pattern: nonzero diagonal at %d", i)
+			}
+			if set != (matrix[j*n+i] == '1') {
+				return nil, fmt.Errorf("pattern: adjacency not symmetric at (%d,%d)", i, j)
+			}
+			if set && i < j {
+				edges = append(edges, [2]int{i, j})
+			}
+		}
+	}
+	return New(n, edges, name)
+}
+
+// N returns the number of pattern vertices.
+func (p *Pattern) N() int { return p.n }
+
+// Name returns the display name ("" if unnamed).
+func (p *Pattern) Name() string { return p.name }
+
+// WithName returns a copy of p carrying the given display name.
+func (p *Pattern) WithName(name string) *Pattern {
+	q := *p
+	q.adj = append([]uint16(nil), p.adj...)
+	q.name = name
+	return &q
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (p *Pattern) HasEdge(u, v int) bool { return p.adj[u]&(1<<v) != 0 }
+
+// Degree returns the degree of vertex v.
+func (p *Pattern) Degree(v int) int { return bits.OnesCount16(p.adj[v]) }
+
+// NeighborMask returns the bitmask of v's neighbors.
+func (p *Pattern) NeighborMask(v int) uint16 { return p.adj[v] }
+
+// NumEdges returns the number of undirected edges.
+func (p *Pattern) NumEdges() int {
+	total := 0
+	for _, m := range p.adj {
+		total += bits.OnesCount16(m)
+	}
+	return total / 2
+}
+
+// Edges returns the edge list with u < v, sorted lexicographically.
+func (p *Pattern) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < p.n; u++ {
+		m := p.adj[u] >> (u + 1) << (u + 1) // neighbors > u
+		for m != 0 {
+			v := bits.TrailingZeros16(m)
+			out = append(out, [2]int{u, v})
+			m &= m - 1
+		}
+	}
+	return out
+}
+
+// Connected reports whether the pattern is connected. Pattern matching on a
+// disconnected pattern is a cross product of independent subproblems, which
+// GraphPi (like the systems it compares against) does not target.
+func (p *Pattern) Connected() bool {
+	return p.n > 0 && p.connectedSubset((1<<p.n)-1)
+}
+
+// PrefixConnected reports whether the vertices {order[0..i]} induce a
+// connected subgraph for every prefix i — the Phase-1 criterion of the
+// schedule generator ("the subgraph formed by the first i searched vertices
+// must be a connected graph").
+func (p *Pattern) PrefixConnected(order []int) bool {
+	var mask uint16
+	for i, v := range order {
+		if i > 0 && p.adj[v]&mask == 0 {
+			return false
+		}
+		mask |= 1 << v
+	}
+	return true
+}
+
+// connectedSubset reports whether the subgraph induced by the vertex bitmask
+// is connected (an empty mask is vacuously connected).
+func (p *Pattern) connectedSubset(mask uint16) bool {
+	if mask == 0 {
+		return true
+	}
+	start := uint16(1) << bits.TrailingZeros16(mask)
+	visited := start
+	frontier := start
+	for frontier != 0 {
+		next := uint16(0)
+		m := frontier
+		for m != 0 {
+			v := bits.TrailingZeros16(m)
+			next |= p.adj[v] & mask
+			m &= m - 1
+		}
+		frontier = next &^ visited
+		visited |= frontier
+	}
+	return visited == mask
+}
+
+// IndependentMask reports whether the vertex bitmask induces an independent
+// set (no edges inside).
+func (p *Pattern) IndependentMask(mask uint16) bool {
+	m := mask
+	for m != 0 {
+		v := bits.TrailingZeros16(m)
+		if p.adj[v]&mask != 0 {
+			return false
+		}
+		m &= m - 1
+	}
+	return true
+}
+
+// MaxIndependentSetSize returns k, the largest number of pairwise
+// non-adjacent pattern vertices. Phase 2 of the schedule generator requires
+// the last k searched vertices to be pairwise non-adjacent, and the IEP
+// optimization replaces the innermost k loops with inclusion–exclusion.
+func (p *Pattern) MaxIndependentSetSize() int {
+	best := 0
+	for mask := uint16(0); mask < 1<<p.n; mask++ {
+		if c := bits.OnesCount16(mask); c > best && p.IndependentMask(mask) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Automorphisms enumerates all automorphisms of the pattern by checking each
+// of the n! vertex permutations for edge preservation. The result always
+// contains the identity and forms a permutation group (verified in tests).
+func (p *Pattern) Automorphisms() []perm.Perm {
+	var auts []perm.Perm
+	perm.ForEach(p.n, func(q perm.Perm) bool {
+		if p.isAutomorphism(q) {
+			auts = append(auts, q.Clone())
+		}
+		return true
+	})
+	return auts
+}
+
+// isAutomorphism reports whether q preserves the edge relation. Since q is a
+// bijection on the same vertex set and edge counts match, preservation in
+// one direction suffices.
+func (p *Pattern) isAutomorphism(q perm.Perm) bool {
+	for u := 0; u < p.n; u++ {
+		m := p.adj[u]
+		for m != 0 {
+			v := bits.TrailingZeros16(m)
+			if !p.HasEdge(int(q[u]), int(q[v])) {
+				return false
+			}
+			m &= m - 1
+		}
+	}
+	return true
+}
+
+// Relabel returns the pattern with vertex i renamed to order[i]. order must
+// be a permutation of {0,…,n-1}. Schedules are implemented by relabeling the
+// pattern so that search order equals vertex order.
+func (p *Pattern) Relabel(order []int) *Pattern {
+	if len(order) != p.n {
+		panic("pattern: relabel order has wrong length")
+	}
+	q := &Pattern{n: p.n, adj: make([]uint16, p.n), name: p.name}
+	for u := 0; u < p.n; u++ {
+		m := p.adj[u]
+		for m != 0 {
+			v := bits.TrailingZeros16(m)
+			q.adj[order[u]] |= 1 << order[v]
+			m &= m - 1
+		}
+	}
+	return q
+}
+
+// Isomorphic reports whether p and q are isomorphic, by brute force over
+// vertex bijections. Usable only at pattern scale, which is the point.
+func (p *Pattern) Isomorphic(q *Pattern) bool {
+	if p.n != q.n || p.NumEdges() != q.NumEdges() {
+		return false
+	}
+	// Degree multiset must match.
+	dp := make([]int, p.n)
+	dq := make([]int, q.n)
+	for i := 0; i < p.n; i++ {
+		dp[i], dq[i] = p.Degree(i), q.Degree(i)
+	}
+	sort.Ints(dp)
+	sort.Ints(dq)
+	for i := range dp {
+		if dp[i] != dq[i] {
+			return false
+		}
+	}
+	found := false
+	perm.ForEach(p.n, func(f perm.Perm) bool {
+		ok := true
+		for u := 0; u < p.n && ok; u++ {
+			m := p.adj[u]
+			for m != 0 {
+				v := bits.TrailingZeros16(m)
+				if !q.HasEdge(int(f[u]), int(f[v])) {
+					ok = false
+					break
+				}
+				m &= m - 1
+			}
+		}
+		if ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// CanonicalKey returns a string that is equal for isomorphic patterns:
+// the lexicographically smallest adjacency-matrix encoding over all vertex
+// relabelings. Exponential, fine at pattern scale; used to deduplicate
+// pattern sets (e.g. the motif census example).
+func (p *Pattern) CanonicalKey() string {
+	best := ""
+	order := make([]int, p.n)
+	perm.ForEach(p.n, func(f perm.Perm) bool {
+		for i := range order {
+			order[i] = int(f[i])
+		}
+		enc := p.Relabel(order).AdjacencyString()
+		if best == "" || enc < best {
+			best = enc
+		}
+		return true
+	})
+	return best
+}
+
+// AdjacencyString renders the row-major 0/1 adjacency matrix (the
+// ParseAdjacency format).
+func (p *Pattern) AdjacencyString() string {
+	var b strings.Builder
+	for i := 0; i < p.n; i++ {
+		for j := 0; j < p.n; j++ {
+			if p.HasEdge(i, j) {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+	}
+	return b.String()
+}
+
+// String renders a compact description like "House(5v,6e)".
+func (p *Pattern) String() string {
+	name := p.name
+	if name == "" {
+		name = "pattern"
+	}
+	return fmt.Sprintf("%s(%dv,%de)", name, p.n, p.NumEdges())
+}

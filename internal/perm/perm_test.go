@@ -1,0 +1,218 @@
+package perm
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentity(t *testing.T) {
+	id := Identity(5)
+	if !id.IsIdentity() || !id.Valid() {
+		t.Error("Identity(5) not identity/valid")
+	}
+	if id.String() != "()" {
+		t.Errorf("identity String = %q", id.String())
+	}
+	if len(Identity(0)) != 0 {
+		t.Error("Identity(0) not empty")
+	}
+}
+
+func TestValid(t *testing.T) {
+	if (Perm{0, 0}).Valid() {
+		t.Error("duplicate image accepted")
+	}
+	if (Perm{0, 3}).Valid() {
+		t.Error("out-of-range image accepted")
+	}
+	if !(Perm{1, 0, 2}).Valid() {
+		t.Error("valid perm rejected")
+	}
+}
+
+func TestComposeInverse(t *testing.T) {
+	p := Perm{1, 2, 0, 3} // (0 1 2)
+	q := Perm{0, 1, 3, 2} // (2 3)
+	pq := Compose(p, q)
+	// (p∘q)(2) = p(3) = 3, (p∘q)(3) = p(2) = 0
+	want := Perm{1, 2, 3, 0}
+	if !Equal(pq, want) {
+		t.Errorf("Compose = %v, want %v", pq, want)
+	}
+	if !Compose(p, p.Inverse()).IsIdentity() || !Compose(p.Inverse(), p).IsIdentity() {
+		t.Error("p∘p⁻¹ != id")
+	}
+}
+
+func TestComposeDegreeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Compose with mismatched degrees did not panic")
+		}
+	}()
+	Compose(Perm{0}, Perm{0, 1})
+}
+
+func TestCycles(t *testing.T) {
+	p := Perm{0, 3, 2, 1, 5, 6, 4} // (1 3)(4 5 6)
+	cycles := p.Cycles()
+	want := [][]uint8{{1, 3}, {4, 5, 6}}
+	if !reflect.DeepEqual(cycles, want) {
+		t.Errorf("Cycles = %v, want %v", cycles, want)
+	}
+	if got := p.String(); got != "(1 3)(4 5 6)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestTwoCycles(t *testing.T) {
+	p := Perm{1, 0, 3, 2, 4} // (0 1)(2 3)
+	got := p.TwoCycles()
+	want := [][2]uint8{{0, 1}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TwoCycles = %v, want %v", got, want)
+	}
+	// A 3-cycle has no 2-cycles.
+	q := Perm{1, 2, 0}
+	if len(q.TwoCycles()) != 0 {
+		t.Errorf("3-cycle TwoCycles = %v, want none", q.TwoCycles())
+	}
+	// A 4-cycle has no 2-cycles either (only in the disjoint decomposition).
+	r := Perm{1, 2, 3, 0}
+	if len(r.TwoCycles()) != 0 {
+		t.Errorf("4-cycle TwoCycles = %v", r.TwoCycles())
+	}
+}
+
+func TestClosure(t *testing.T) {
+	// The rotation (0 1 2 3) and reflection (1 3) generate the dihedral
+	// group D4 of order 8 — the automorphism group of the rectangle pattern
+	// in the paper's Figure 4(c).
+	rot := Perm{1, 2, 3, 0}
+	refl := Perm{0, 3, 2, 1}
+	g := Closure([]Perm{rot, refl})
+	if len(g) != 8 {
+		t.Fatalf("|D4| = %d, want 8", len(g))
+	}
+	if !IsGroup(g) {
+		t.Error("closure is not a group")
+	}
+	// Cyclic group C5.
+	c5 := Closure([]Perm{{1, 2, 3, 4, 0}})
+	if len(c5) != 5 || !IsGroup(c5) {
+		t.Errorf("|C5| = %d, want 5", len(c5))
+	}
+	if Closure(nil) != nil {
+		t.Error("Closure(nil) != nil")
+	}
+}
+
+func TestIsGroupRejects(t *testing.T) {
+	// Missing identity.
+	if IsGroup([]Perm{{1, 0}}) {
+		t.Error("set without identity accepted")
+	}
+	// Not closed.
+	if IsGroup([]Perm{{0, 1, 2}, {1, 2, 0}}) {
+		t.Error("non-closed set accepted")
+	}
+	if IsGroup(nil) {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestForEachCountsFactorial(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		count := int64(0)
+		seen := map[string]bool{}
+		ForEach(n, func(p Perm) bool {
+			count++
+			seen[string(p)] = true
+			if !p.Valid() {
+				t.Fatalf("ForEach yielded invalid perm %v", p)
+			}
+			return true
+		})
+		if count != Factorial(n) {
+			t.Errorf("ForEach(%d) yielded %d perms, want %d", n, count, Factorial(n))
+		}
+		if int64(len(seen)) != count {
+			t.Errorf("ForEach(%d) yielded duplicates", n)
+		}
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	count := 0
+	ForEach(5, func(p Perm) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Errorf("early stop after %d, want 7", count)
+	}
+}
+
+func TestForEachLexOrder(t *testing.T) {
+	var prev string
+	first := true
+	ForEach(4, func(p Perm) bool {
+		s := string(p)
+		if !first && s <= prev {
+			t.Fatalf("not lexicographic: %v after %v", p, prev)
+		}
+		prev, first = s, false
+		return true
+	})
+}
+
+func TestFactorial(t *testing.T) {
+	want := []int64{1, 1, 2, 6, 24, 120, 720, 5040, 40320}
+	for n, w := range want {
+		if got := Factorial(n); got != w {
+			t.Errorf("Factorial(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func randPerm(r *rand.Rand, n int) Perm {
+	p := Identity(n)
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+func TestGroupAxiomsProperty(t *testing.T) {
+	// Associativity, inverse and cycle-decomposition round trip on random
+	// permutations.
+	f := func(seed uint64) bool {
+		r := rand.New(rand.NewPCG(seed, 17))
+		n := 1 + r.IntN(10)
+		p, q, s := randPerm(r, n), randPerm(r, n), randPerm(r, n)
+		// (p∘q)∘s == p∘(q∘s)
+		if !Equal(Compose(Compose(p, q), s), Compose(p, Compose(q, s))) {
+			return false
+		}
+		// Rebuilding from cycles gives back p.
+		rebuilt := Identity(n)
+		for _, cyc := range p.Cycles() {
+			for i := 0; i < len(cyc); i++ {
+				rebuilt[cyc[i]] = cyc[(i+1)%len(cyc)]
+			}
+		}
+		if !Equal(rebuilt, p) {
+			return false
+		}
+		// Every 2-cycle (i,j) satisfies p(i)=j, p(j)=i.
+		for _, tc := range p.TwoCycles() {
+			if p[tc[0]] != tc[1] || p[tc[1]] != tc[0] {
+				return false
+			}
+		}
+		return p.Clone().Valid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

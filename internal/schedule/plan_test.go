@@ -1,0 +1,143 @@
+package schedule
+
+import (
+	"testing"
+
+	"graphpi/internal/pattern"
+)
+
+func TestBuildPlanHouse(t *testing.T) {
+	// The paper's Figure 5: House with schedule A,B,C,D,E. With our House
+	// labeling (square 0-2-3-1, roof 0-1-4) and the identity schedule:
+	// depth 0 (A=0): full scan
+	// depth 1 (B=1): N(v0)
+	// depth 2 (C=2): N(v0)
+	// depth 3 (D=3): N(v1)∩N(v2)  → buffer computed at depth 2
+	// depth 4 (E=4): N(v0)∩N(v1)  → buffer computed at depth 1 (tmpAB!)
+	h := pattern.House()
+	s := Schedule{Order: []uint8{0, 1, 2, 3, 4}}
+	rel := RelabeledPattern(h, s)
+	plan := BuildPlan(rel, 5)
+
+	if plan.Cand[0].Kind != CandFull {
+		t.Error("depth 0 should be full scan")
+	}
+	if plan.Cand[1].Kind != CandNeighborhood || plan.Cand[1].Parent != 0 {
+		t.Errorf("depth 1 candidate = %+v, want N(v0)", plan.Cand[1])
+	}
+	if plan.Cand[2].Kind != CandNeighborhood || plan.Cand[2].Parent != 0 {
+		t.Errorf("depth 2 candidate = %+v, want N(v0)", plan.Cand[2])
+	}
+	if plan.Cand[3].Kind != CandBuffer || plan.Cand[3].NumParents != 2 {
+		t.Errorf("depth 3 candidate = %+v, want 2-parent buffer", plan.Cand[3])
+	}
+	if plan.Cand[4].Kind != CandBuffer || plan.Cand[4].NumParents != 2 {
+		t.Errorf("depth 4 candidate = %+v, want 2-parent buffer", plan.Cand[4])
+	}
+	// tmpAB (parents {0,1}) must be computed at depth 1; tmpBC-analog
+	// (parents {1,2}) at depth 2.
+	if len(plan.Steps[1]) != 1 || plan.Steps[1][0].LeftParent != 0 {
+		t.Errorf("Steps[1] = %+v, want one step N(v0)∩N(v1)", plan.Steps[1])
+	}
+	if len(plan.Steps[2]) != 1 {
+		t.Errorf("Steps[2] = %+v, want one step", plan.Steps[2])
+	}
+	if plan.NumBufs != 2 {
+		t.Errorf("NumBufs = %d, want 2", plan.NumBufs)
+	}
+}
+
+func TestBuildPlanSharesPrefixes(t *testing.T) {
+	// K2,3 with the 2-side first: inner vertices 2,3,4 all share parents
+	// {0,1}; the intersection buffer must be built once and shared.
+	p := pattern.CompleteBipartite(2, 3)
+	s := Schedule{Order: []uint8{0, 2, 1, 3, 4}}
+	rel := RelabeledPattern(p, s)
+	plan := BuildPlan(rel, 5)
+	// Relabeled: depth0=0(sideA), depth1=2(sideB), depth2=1(sideA),
+	// depth3=3, depth4=4 (sideB). Depths 3 and 4 have parents {0,2}
+	// (the two side-A depths), so they share one buffer.
+	if plan.Cand[3].Kind != CandBuffer || plan.Cand[4].Kind != CandBuffer {
+		t.Fatalf("inner candidates = %+v / %+v", plan.Cand[3], plan.Cand[4])
+	}
+	if plan.Cand[3].Buf != plan.Cand[4].Buf {
+		t.Error("shared parent set should share a buffer")
+	}
+	total := 0
+	for _, steps := range plan.Steps {
+		total += len(steps)
+	}
+	if total != plan.NumBufs {
+		t.Errorf("steps %d != buffers %d", total, plan.NumBufs)
+	}
+}
+
+func TestBuildPlanChain(t *testing.T) {
+	// K5 identity schedule: depth 4 has parents {0,1,2,3}: a chain of
+	// three steps with prefixes {0,1}, {0,1,2}, {0,1,2,3}; depth 3 shares
+	// the {0,1} and {0,1,2} prefixes; depth 2 shares {0,1}.
+	k5 := pattern.Clique(5)
+	s := Schedule{Order: []uint8{0, 1, 2, 3, 4}}
+	plan := BuildPlan(RelabeledPattern(k5, s), 5)
+	if plan.NumBufs != 3 {
+		t.Errorf("K5 NumBufs = %d, want 3 (shared chain)", plan.NumBufs)
+	}
+	// Steps land at the depth of their last parent.
+	if len(plan.Steps[1]) != 1 || len(plan.Steps[2]) != 1 || len(plan.Steps[3]) != 1 {
+		t.Errorf("K5 steps misplaced: %v", plan.Steps)
+	}
+	if plan.Steps[3][0].PrefixLen != 4 {
+		t.Errorf("deepest step PrefixLen = %d, want 4", plan.Steps[3][0].PrefixLen)
+	}
+	// Chain left inputs: first step from a neighborhood, later from buffers.
+	if plan.Steps[1][0].LeftBuf != -1 {
+		t.Error("first chain step should read a neighborhood")
+	}
+	if plan.Steps[2][0].LeftBuf != plan.Steps[1][0].Out {
+		t.Error("second chain step should read the first buffer")
+	}
+}
+
+func TestBuildPlanStepOrdering(t *testing.T) {
+	// Invariant: every step's inputs exist before it runs — left buffers
+	// are produced by an earlier (or same-depth, earlier-listed) step, and
+	// LeftParent < Depth.
+	pats := []*pattern.Pattern{
+		pattern.House(), pattern.Cycle6Tri(), pattern.Clique(6),
+		pattern.Prism(), pattern.CompleteBipartite(2, 3), pattern.CliqueMinus(6),
+	}
+	for _, p := range pats {
+		res := Generate(p, Options{})
+		for _, s := range res.Efficient {
+			plan := BuildPlan(RelabeledPattern(p, s), p.N())
+			produced := map[int]int{} // buffer -> producing depth
+			for d := 0; d < plan.N; d++ {
+				for _, st := range plan.Steps[d] {
+					if st.Depth != d {
+						t.Fatalf("%s %v: step depth mismatch", p, s)
+					}
+					if st.LeftBuf >= 0 {
+						pd, ok := produced[st.LeftBuf]
+						if !ok || pd > d {
+							t.Fatalf("%s %v: step reads unproduced buffer", p, s)
+						}
+					} else if st.LeftParent < 0 || st.LeftParent >= d {
+						t.Fatalf("%s %v: bad left parent %d at depth %d", p, s, st.LeftParent, d)
+					}
+					produced[st.Out] = d
+				}
+			}
+			for d := 0; d < plan.N; d++ {
+				c := plan.Cand[d]
+				if c.Kind == CandBuffer {
+					if pd, ok := produced[c.Buf]; !ok || pd >= d {
+						t.Fatalf("%s %v: candidate buffer for depth %d produced at %d", p, s, d, pd)
+					}
+				}
+				if c.Kind == CandNeighborhood && c.Parent >= d {
+					t.Fatalf("%s %v: neighborhood parent not bound", p, s)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package taskpool provides the shared-memory parallel runtime underneath
+// GraphPi's distributed implementation (paper §IV-E). The paper splits the
+// outer loops of the matching program into fine-grained tasks to counter the
+// power-law workload skew of real graphs; this package supplies the two
+// scheduling disciplines used:
+//
+//   - Run: dynamic chunk self-scheduling from a shared counter (the OpenMP
+//     "dynamic schedule" the single-node engine uses), and
+//   - RunStealing: per-worker task queues with work stealing (the discipline
+//     the simulated cluster layers across nodes).
+package taskpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Range is a half-open interval [Start, End) of task indices.
+type Range struct {
+	Start, End int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Workers normalizes a worker-count request: values < 1 become
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Run partitions [0, n) into chunks of the given size and hands them to
+// workers goroutines that self-schedule from a shared atomic cursor. fn is
+// called with the worker index (0 ≤ worker < workers) and the claimed range.
+// Run returns when every chunk has been processed. chunk < 1 defaults to 1.
+func Run(workers, n, chunk int, fn func(worker int, r Range)) {
+	workers = Workers(workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	if n <= 0 {
+		return
+	}
+	if workers == 1 {
+		fn(0, Range{0, n})
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(int64(chunk))) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				fn(worker, Range{start, end})
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// RunStealing executes the given task ranges on workers goroutines. Tasks
+// are dealt round-robin into per-worker queues; a worker that drains its own
+// queue steals from the busiest peer. The queue discipline is FIFO for the
+// owner (large outer-loop prefixes first keeps stealable work available) and
+// steal-from-the-back for thieves.
+func RunStealing(workers int, tasks []Range, fn func(worker int, r Range)) {
+	workers = Workers(workers)
+	if len(tasks) == 0 {
+		return
+	}
+	if workers == 1 {
+		for _, t := range tasks {
+			fn(0, t)
+		}
+		return
+	}
+	queues := make([]*stealQueue, workers)
+	for i := range queues {
+		queues[i] = &stealQueue{}
+	}
+	for i, t := range tasks {
+		q := queues[i%workers]
+		q.tasks = append(q.tasks, t)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			own := queues[worker]
+			for {
+				t, ok := own.popFront()
+				if !ok {
+					t, ok = steal(queues, worker)
+				}
+				if !ok {
+					return
+				}
+				fn(worker, t)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+type stealQueue struct {
+	mu    sync.Mutex
+	tasks []Range
+	head  int
+}
+
+func (q *stealQueue) popFront() (Range, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.tasks) {
+		return Range{}, false
+	}
+	t := q.tasks[q.head]
+	q.head++
+	return t, true
+}
+
+func (q *stealQueue) popBack() (Range, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head >= len(q.tasks) {
+		return Range{}, false
+	}
+	t := q.tasks[len(q.tasks)-1]
+	q.tasks = q.tasks[:len(q.tasks)-1]
+	return t, true
+}
+
+func (q *stealQueue) size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.tasks) - q.head
+}
+
+// steal picks the victim with the most remaining tasks and takes one from
+// the back of its queue.
+func steal(queues []*stealQueue, self int) (Range, bool) {
+	for {
+		victim, best := -1, 0
+		for i, q := range queues {
+			if i == self {
+				continue
+			}
+			if s := q.size(); s > best {
+				best, victim = s, i
+			}
+		}
+		if victim < 0 {
+			return Range{}, false
+		}
+		if t, ok := queues[victim].popBack(); ok {
+			return t, true
+		}
+		// Lost the race; rescan.
+	}
+}
+
+// SplitEven cuts [0, n) into at most parts contiguous ranges of nearly equal
+// length (used for static baselines in scalability experiments).
+func SplitEven(n, parts int) []Range {
+	if n <= 0 || parts < 1 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	base, rem := n/parts, n%parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, Range{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// SplitChunks cuts [0, n) into contiguous ranges of the given size.
+func SplitChunks(n, chunk int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	out := make([]Range, 0, (n+chunk-1)/chunk)
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		out = append(out, Range{start, end})
+	}
+	return out
+}

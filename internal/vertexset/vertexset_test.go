@@ -1,0 +1,305 @@
+package vertexset
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// mkset turns arbitrary values into a valid sorted duplicate-free set.
+func mkset(vals []uint32) []uint32 {
+	seen := make(map[uint32]bool, len(vals))
+	out := make([]uint32, 0, len(vals))
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// refIntersect is the obvious map-based reference implementation.
+func refIntersect(a, b []uint32) []uint32 {
+	in := make(map[uint32]bool, len(a))
+	for _, v := range a {
+		in[v] = true
+	}
+	out := []uint32{}
+	for _, v := range b {
+		if in[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func TestIntersectBasic(t *testing.T) {
+	cases := []struct{ a, b, want []uint32 }{
+		{nil, nil, []uint32{}},
+		{[]uint32{1, 2, 3}, nil, []uint32{}},
+		{[]uint32{1, 2, 3}, []uint32{2, 3, 4}, []uint32{2, 3}},
+		{[]uint32{1, 3, 5}, []uint32{2, 4, 6}, []uint32{}},
+		{[]uint32{7}, []uint32{7}, []uint32{7}},
+		{[]uint32{0, 1, 2, 3, 4}, []uint32{0, 4}, []uint32{0, 4}},
+	}
+	for _, c := range cases {
+		got := Intersect(nil, c.a, c.b)
+		if !reflect.DeepEqual(append([]uint32{}, got...), c.want) {
+			t.Errorf("Intersect(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if n := IntersectSize(c.a, c.b); n != len(c.want) {
+			t.Errorf("IntersectSize(%v, %v) = %d, want %d", c.a, c.b, n, len(c.want))
+		}
+	}
+}
+
+func TestIntersectMatchesReference(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, b := mkset(av), mkset(bv)
+		got := Intersect(nil, a, b)
+		want := refIntersect(a, b)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual([]uint32(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectGallopPath(t *testing.T) {
+	// Force the galloping path: one tiny set against one huge set.
+	rng := rand.New(rand.NewPCG(1, 2))
+	big := make([]uint32, 0, 100000)
+	for i := 0; i < 100000; i++ {
+		big = append(big, uint32(i*3))
+	}
+	small := []uint32{}
+	for i := 0; i < 20; i++ {
+		small = append(small, uint32(rng.IntN(300000)))
+	}
+	small = mkset(small)
+	got := Intersect(nil, small, big)
+	want := refIntersect(small, big)
+	if len(got) == 0 && len(want) == 0 {
+		return
+	}
+	if !reflect.DeepEqual([]uint32(got), want) {
+		t.Errorf("gallop intersect mismatch: got %v want %v", got, want)
+	}
+	if n := IntersectSize(small, big); n != len(want) {
+		t.Errorf("gallop IntersectSize = %d, want %d", n, len(want))
+	}
+}
+
+func TestIntersectSizeMatchesIntersect(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, b := mkset(av), mkset(bv)
+		return IntersectSize(a, b) == len(Intersect(nil, a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectBelow(t *testing.T) {
+	a := []uint32{1, 4, 6, 9, 12}
+	b := []uint32{4, 6, 8, 12, 14}
+	got := IntersectBelow(nil, a, b, 12)
+	want := []uint32{4, 6}
+	if !reflect.DeepEqual([]uint32(got), want) {
+		t.Errorf("IntersectBelow = %v, want %v", got, want)
+	}
+	if got := IntersectBelow(nil, a, b, 0); len(got) != 0 {
+		t.Errorf("IntersectBelow bound 0 = %v, want empty", got)
+	}
+	if got := IntersectBelow(nil, a, b, 100); len(got) != 3 {
+		t.Errorf("IntersectBelow bound 100 = %v, want 3 elements", got)
+	}
+}
+
+func TestIntersectBelowMatchesFilter(t *testing.T) {
+	f := func(av, bv []uint32, bound uint32) bool {
+		a, b := mkset(av), mkset(bv)
+		got := IntersectBelow(nil, a, b, bound)
+		want := []uint32{}
+		for _, v := range refIntersect(a, b) {
+			if v < bound {
+				want = append(want, v)
+			}
+		}
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual([]uint32(got), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBelow(t *testing.T) {
+	a := []uint32{2, 5, 7, 11}
+	cases := []struct {
+		bound uint32
+		want  int
+	}{{0, 0}, {2, 0}, {3, 1}, {7, 2}, {8, 3}, {12, 4}, {11, 3}}
+	for _, c := range cases {
+		if got := Below(a, c.bound); len(got) != c.want {
+			t.Errorf("Below(%v, %d) has len %d, want %d", a, c.bound, len(got), c.want)
+		}
+	}
+	if got := Below(nil, 5); len(got) != 0 {
+		t.Errorf("Below(nil) = %v", got)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := []uint32{1, 3, 5, 8, 13}
+	for _, v := range a {
+		if !Contains(a, v) {
+			t.Errorf("Contains(%v, %d) = false, want true", a, v)
+		}
+	}
+	for _, v := range []uint32{0, 2, 4, 9, 14} {
+		if Contains(a, v) {
+			t.Errorf("Contains(%v, %d) = true, want false", a, v)
+		}
+	}
+	if Contains(nil, 1) {
+		t.Error("Contains(nil, 1) = true")
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	a := []uint32{1, 2, 3, 4, 5}
+	b := []uint32{2, 4, 6}
+	got := Subtract(nil, a, b)
+	want := []uint32{1, 3, 5}
+	if !reflect.DeepEqual([]uint32(got), want) {
+		t.Errorf("Subtract = %v, want %v", got, want)
+	}
+	if got := Subtract(nil, a, nil); !reflect.DeepEqual([]uint32(got), a) {
+		t.Errorf("Subtract by empty = %v, want %v", got, a)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := []uint32{1, 3, 5}
+	b := []uint32{2, 3, 6}
+	got := Union(nil, a, b)
+	want := []uint32{1, 2, 3, 5, 6}
+	if !reflect.DeepEqual([]uint32(got), want) {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+}
+
+func TestUnionSubtractProperties(t *testing.T) {
+	f := func(av, bv []uint32) bool {
+		a, b := mkset(av), mkset(bv)
+		u := Union(nil, a, b)
+		if !IsSorted(u) {
+			return false
+		}
+		// |A ∪ B| == |A| + |B| - |A ∩ B|
+		if len(u) != len(a)+len(b)-IntersectSize(a, b) {
+			return false
+		}
+		// (A \ B) ∩ B == ∅, and (A \ B) ∪ (A ∩ B) == A
+		d := Subtract(nil, a, b)
+		if IntersectSize(d, b) != 0 {
+			return false
+		}
+		back := Union(nil, d, Intersect(nil, a, b))
+		if len(back) != len(a) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectMulti(t *testing.T) {
+	s1 := []uint32{1, 2, 3, 4, 5, 6}
+	s2 := []uint32{2, 4, 6, 8}
+	s3 := []uint32{4, 5, 6, 7}
+	got := IntersectMulti(nil, nil, s1, s2, s3)
+	want := []uint32{4, 6}
+	if !reflect.DeepEqual(append([]uint32{}, got...), want) {
+		t.Errorf("IntersectMulti = %v, want %v", got, want)
+	}
+	if got := IntersectMulti(nil, nil, s1); !reflect.DeepEqual(append([]uint32{}, got...), s1) {
+		t.Errorf("IntersectMulti single = %v, want %v", got, s1)
+	}
+	if got := IntersectMulti(nil, nil); len(got) != 0 {
+		t.Errorf("IntersectMulti() = %v, want empty", got)
+	}
+	// Empty member annihilates.
+	if got := IntersectMulti(nil, nil, s1, []uint32{}, s3); len(got) != 0 {
+		t.Errorf("IntersectMulti with empty = %v, want empty", got)
+	}
+}
+
+func TestIntersectMultiMatchesFold(t *testing.T) {
+	f := func(av, bv, cv, dv []uint32) bool {
+		a, b, c, d := mkset(av), mkset(bv), mkset(cv), mkset(dv)
+		got := IntersectMulti(nil, nil, a, b, c, d)
+		want := refIntersect(refIntersect(refIntersect(a, b), c), d)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(append([]uint32{}, got...), want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGallopSearch(t *testing.T) {
+	b := []uint32{10, 20, 30, 40, 50, 60, 70, 80}
+	cases := []struct {
+		lo   int
+		x    uint32
+		want int
+	}{
+		{0, 5, 0}, {0, 10, 0}, {0, 15, 1}, {0, 80, 7}, {0, 81, 8},
+		{3, 40, 3}, {3, 45, 4}, {8, 100, 8},
+	}
+	for _, c := range cases {
+		if got := gallopSearch(b, c.lo, c.x); got != c.want {
+			t.Errorf("gallopSearch(b, %d, %d) = %d, want %d", c.lo, c.x, got, c.want)
+		}
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted(nil) || !IsSorted([]uint32{1}) || !IsSorted([]uint32{1, 2, 9}) {
+		t.Error("IsSorted false negative")
+	}
+	if IsSorted([]uint32{1, 1}) || IsSorted([]uint32{2, 1}) {
+		t.Error("IsSorted false positive")
+	}
+}
+
+func TestIntersectReusesDst(t *testing.T) {
+	dst := make([]uint32, 0, 16)
+	a := []uint32{1, 2, 3}
+	b := []uint32{2, 3, 4}
+	got := Intersect(dst, a, b)
+	if &got[0] != &dst[:1][0] {
+		t.Error("Intersect did not reuse dst backing array")
+	}
+	// A second call must truncate previous contents.
+	got = Intersect(got, a, []uint32{3})
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("Intersect reuse = %v, want [3]", got)
+	}
+}
