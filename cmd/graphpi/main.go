@@ -34,6 +34,8 @@ func main() {
 		list        = flag.Bool("list", false, "list embeddings instead of counting")
 		limit       = flag.Int64("limit", 20, "max embeddings to list with -list")
 		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		hybrid      = flag.Bool("hybrid", false, "run on the degree-ordered, bitmap-accelerated hybrid adjacency view")
+		hubBudget   = flag.Int64("hub-budget", 0, "hub bitmap memory budget in bytes with -hybrid (0 = 64 MiB default)")
 		baseline    = flag.Bool("graphzero", false, "plan like the GraphZero baseline")
 		emitGo      = flag.String("emit-go", "", "write standalone Go source for the planned configuration to this path and exit")
 	)
@@ -48,6 +50,12 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("graph: %s (%s)\n", g.Name(), g.StatsString())
+	if *hybrid {
+		prep := time.Now()
+		g = g.Optimize(*hubBudget)
+		fmt.Printf("hybrid view: degree-ordered, bitmaps built in %v\n",
+			time.Since(prep).Round(time.Microsecond))
+	}
 	fmt.Printf("pattern: %s\n", p)
 
 	opts := []graphpi.Option{graphpi.WithWorkers(*workers)}

@@ -1,0 +1,3 @@
+module graphpi
+
+go 1.24

@@ -73,6 +73,24 @@ func (g *Graph) HasEdge(u, v uint32) bool { return g.g.HasEdge(u, v) }
 // StatsString renders |V|, |E|, triangle count and degree statistics.
 func (g *Graph) StatsString() string { return g.g.Stats().String() }
 
+// Optimize returns a hybrid-adjacency view of the graph: vertices are
+// relabeled so ids descend by degree (restriction windows prune earlier,
+// hubs cluster at the front of the id space) and the top vertices by degree
+// get packed adjacency bitsets within hubMemBudgetBytes of memory
+// (<= 0 → a 64 MiB default), so hub intersections cost O(|small side|).
+// Plans run against the optimized view typically count 1.5-2x faster on
+// power-law graphs; Enumerate still reports original vertex ids. The
+// original graph is not modified.
+func (g *Graph) Optimize(hubMemBudgetBytes int64) *Graph {
+	og := g.g.Reorder()
+	og.BuildHubBitmaps(hubMemBudgetBytes)
+	return &Graph{g: og}
+}
+
+// IsOptimized reports whether this graph is a degree-ordered view produced
+// by Optimize.
+func (g *Graph) IsOptimized() bool { return g.g.IsReordered() }
+
 // NewGraph builds a graph with n vertices from an undirected edge list.
 func NewGraph(n int, edges [][2]uint32) (*Graph, error) {
 	gg, err := graph.FromEdges(n, edges)
@@ -226,6 +244,7 @@ type options struct {
 	chunkSize int
 	maxSets   int
 	baseline  bool
+	edgePar   core.EdgeParallelMode
 }
 
 // WithWorkers sets the number of worker goroutines (default: GOMAXPROCS).
@@ -240,6 +259,20 @@ func WithMaxRestrictionSets(n int) Option { return func(o *options) { o.maxSets 
 // WithGraphZeroBaseline plans like the reproduced GraphZero baseline
 // (single restriction set, Phase-1 schedules, degree-only cost model).
 func WithGraphZeroBaseline() Option { return func(o *options) { o.baseline = true } }
+
+// WithEdgeParallelRoots forces edge-parallel root scheduling on or off.
+// The default (without this option) is automatic: eligible schedules use the
+// edge sweep whenever more than one worker runs, so a hub vertex cannot
+// serialize a whole outer-loop chunk.
+func WithEdgeParallelRoots(enabled bool) Option {
+	return func(o *options) {
+		if enabled {
+			o.edgePar = core.EdgeParallelOn
+		} else {
+			o.edgePar = core.EdgeParallelOff
+		}
+	}
+}
 
 // Plan is a compiled, ready-to-run matching configuration for one
 // (graph, pattern) pair.
@@ -307,7 +340,11 @@ func (pl *Plan) Describe() string {
 }
 
 func (pl *Plan) runOptions() core.RunOptions {
-	return core.RunOptions{Workers: pl.opts.workers, ChunkSize: pl.opts.chunkSize}
+	return core.RunOptions{
+		Workers:      pl.opts.workers,
+		ChunkSize:    pl.opts.chunkSize,
+		EdgeParallel: pl.opts.edgePar,
+	}
 }
 
 // GenerateSource emits the plan's configuration as a standalone Go program

@@ -263,3 +263,47 @@ func TestNewGraphFacade(t *testing.T) {
 		t.Errorf("cycle6tri in C4 = %d", got)
 	}
 }
+
+func TestOptimizeFacade(t *testing.T) {
+	g := GenerateBA(800, 5, 9)
+	og := g.Optimize(0)
+	if !og.IsOptimized() || g.IsOptimized() {
+		t.Fatalf("IsOptimized flags wrong: og=%v g=%v", og.IsOptimized(), g.IsOptimized())
+	}
+	if og.NumVertices() != g.NumVertices() || og.NumEdges() != g.NumEdges() {
+		t.Fatal("Optimize changed graph size")
+	}
+	p := House()
+	want, err := Count(g, p, WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]Option{
+		{WithWorkers(2)},
+		{WithWorkers(2), WithEdgeParallelRoots(true)},
+		{WithWorkers(1), WithEdgeParallelRoots(false)},
+	} {
+		got, err := Count(og, p, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("optimized count = %d, want %d", got, want)
+		}
+	}
+	// Enumerate on the optimized view must report original vertex ids:
+	// every reported embedding must be an embedding of the ORIGINAL graph.
+	plan, err := NewPlan(og, Triangle(), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := plan.Enumerate(func(emb []uint32) bool {
+		if !g.HasEdge(emb[0], emb[1]) || !g.HasEdge(emb[1], emb[2]) || !g.HasEdge(emb[0], emb[2]) {
+			t.Fatalf("embedding %v is not a triangle in original ids", emb)
+		}
+		return true
+	})
+	if n <= 0 {
+		t.Fatal("no triangles enumerated")
+	}
+}

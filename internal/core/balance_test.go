@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"graphpi/internal/graph"
+	"graphpi/internal/pattern"
+	"graphpi/internal/restrict"
+	"graphpi/internal/taskpool"
+)
+
+// starRingGraph builds the extreme-skew fixture: a hub adjacent to every
+// other vertex plus a ring among the non-hub vertices. Every triangle goes
+// through the hub, so under the restriction orientation id(v0) > id(v1) >
+// id(v2) the hub (max id) is the root of essentially all the work: the
+// "single hub vertex serializes an entire chunk" pathology.
+func starRingGraph(n int) *graph.Graph {
+	bld := graph.NewBuilder(n, 2*n)
+	hub := uint32(n - 1)
+	for v := uint32(0); v+1 < hub; v++ {
+		bld.AddEdge(v, v+1)
+	}
+	for v := uint32(0); v < hub; v++ {
+		bld.AddEdge(hub, v)
+	}
+	g, err := bld.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// hubRootTriangle compiles a triangle configuration oriented so the max-id
+// vertex (the hub) performs the candidate sweep.
+func hubRootTriangle(t testing.TB) *Config {
+	cfg, err := NewConfig(pattern.Triangle(), identitySchedule(3),
+		restrict.Set{{First: 0, Second: 1}, {First: 1, Second: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestEdgeParallelBalance measures, deterministically, the straggler effect
+// the edge-parallel sweep eliminates. Work per task is proxied by the number
+// of matches the task finds (on the star+ring fixture all matches live under
+// the hub root). Vertex-chunked tasks put ~100% of the matches in the single
+// chunk owning the hub; edge-parallel tasks bound every task's share by
+// chunk/degree(hub). Wall-clock speedup is this ratio on a machine with
+// enough cores; match shares make the test hardware-independent.
+func TestEdgeParallelBalance(t *testing.T) {
+	const n = 20000
+	g := starRingGraph(n)
+	cfg := hubRootTriangle(t)
+	total := cfg.Count(g, RunOptions{Workers: 1, EdgeParallel: EdgeParallelOff})
+	if total < int64(n)-10 {
+		t.Fatalf("fixture broken: %d triangles", total)
+	}
+
+	maxShare := func(tasks []taskpool.Range, edge bool) float64 {
+		c := NewCounter(cfg, g, false)
+		var maxDelta, prev int64
+		for _, tk := range tasks {
+			if edge {
+				c.CountEdgeRange(tk.Start, tk.End)
+			} else {
+				c.CountRange(tk.Start, tk.End)
+			}
+			if d := c.Raw() - prev; d > maxDelta {
+				maxDelta = d
+			}
+			prev = c.Raw()
+		}
+		if c.Raw() != total {
+			t.Fatalf("task cover lost matches: %d != %d", c.Raw(), total)
+		}
+		return float64(maxDelta) / float64(total)
+	}
+
+	workers := 8
+	vertexTasks := taskpool.SplitChunks(g.NumVertices(), RunOptions{}.chunk(g.NumVertices(), workers))
+	edgeTasks := taskpool.SplitChunks(g.NumAdjSlots(), RunOptions{}.edgeChunk(g.NumAdjSlots(), g.NumVertices(), workers))
+
+	vShare := maxShare(vertexTasks, false)
+	eShare := maxShare(edgeTasks, true)
+	t.Logf("max task share: vertex-chunked %.4f (%d tasks), edge-parallel %.4f (%d tasks)",
+		vShare, len(vertexTasks), eShare, len(edgeTasks))
+	if vShare < 0.9 {
+		t.Errorf("fixture should serialize vertex chunks: max share %.4f", vShare)
+	}
+	if eShare > 0.05 {
+		t.Errorf("edge-parallel max task share %.4f, want <= 0.05", eShare)
+	}
+}
+
+// TestCountEdgeRangeCoversExactly cross-checks the Counter edge-task API:
+// any partition of the slot space must reproduce the full count.
+func TestCountEdgeRangeCoversExactly(t *testing.T) {
+	g := graph.BarabasiAlbert(500, 4, 3)
+	cfg := hubRootTriangle(t)
+	if !cfg.EdgeParallelEligible(false) {
+		t.Fatal("triangle config should be edge-eligible")
+	}
+	want := cfg.Count(g, RunOptions{Workers: 1})
+	for _, chunk := range []int{1, 7, 64, 100000} {
+		c := NewCounter(cfg, g, false)
+		for _, tk := range taskpool.SplitChunks(g.NumAdjSlots(), chunk) {
+			c.CountEdgeRange(tk.Start, tk.End)
+		}
+		if c.Raw() != want {
+			t.Errorf("chunk %d: edge-range cover = %d, want %d", chunk, c.Raw(), want)
+		}
+	}
+}

@@ -45,6 +45,12 @@ type Config struct {
 	// uppers[d] lists positions p with restriction id(v_p) > id(v_d):
 	// candidates at depth d must stay below bound[p] (the paper's break).
 	uppers [][]uint8
+	// dupCheck[d] lists the positions p < d whose bound vertex could still
+	// collide with a depth-d candidate: positions that are neither pattern
+	// neighbors of d (candidates come from their neighborhoods, and the
+	// data graph has no self-loops) nor covered by a restriction window.
+	// Usually empty, eliminating the engine's O(depth) duplicate scan.
+	dupCheck [][]uint8
 	// kIEP is the usable inclusion–exclusion suffix of this schedule,
 	// possibly shrunk so the over-count correction below is exact.
 	kIEP int
@@ -106,6 +112,31 @@ func NewConfig(pat *pattern.Pattern, sched schedule.Schedule, rs restrict.Set) (
 			// id(v_pf) > id(v_ps) with ps later: bound[pf] is an upper
 			// limit for the candidates of ps.
 			c.uppers[ps] = append(c.uppers[ps], pf)
+		}
+	}
+
+	c.dupCheck = make([][]uint8, n)
+	for d := 1; d < n; d++ {
+		for p := 0; p < d; p++ {
+			if c.relabeled.HasEdge(d, p) {
+				continue // candidate ∈ N(bound[p]) ⇒ candidate ≠ bound[p]
+			}
+			covered := false
+			for _, q := range c.lowers[d] {
+				if int(q) == p {
+					covered = true
+					break
+				}
+			}
+			for _, q := range c.uppers[d] {
+				if int(q) == p {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				c.dupCheck[d] = append(c.dupCheck[d], uint8(p))
+			}
 		}
 	}
 

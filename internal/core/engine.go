@@ -11,6 +11,19 @@ import (
 	"graphpi/internal/vertexset"
 )
 
+// EdgeParallelMode selects how the outermost loops are parallelized.
+type EdgeParallelMode uint8
+
+const (
+	// EdgeParallelAuto (the default) uses edge-parallel root scheduling
+	// whenever the schedule is eligible and more than one worker runs.
+	EdgeParallelAuto EdgeParallelMode = iota
+	// EdgeParallelOn forces edge-parallel roots whenever eligible.
+	EdgeParallelOn
+	// EdgeParallelOff always chunks the outer loop by vertex ranges.
+	EdgeParallelOff
+)
+
 // RunOptions controls the execution of a compiled configuration.
 type RunOptions struct {
 	// Workers is the number of goroutines (< 1 → GOMAXPROCS). The result
@@ -19,8 +32,16 @@ type RunOptions struct {
 	// ChunkSize is the number of outermost-loop vertices per scheduled
 	// task (< 1 → an adaptive default). Smaller chunks balance power-law
 	// skew at slightly higher scheduling cost (paper §IV-E, fine-grained
-	// task partitioning).
+	// task partitioning). Under edge-parallel scheduling the granularity
+	// is scaled by the average degree so the task count stays comparable.
 	ChunkSize int
+	// EdgeParallel selects the root scheduling discipline. When the
+	// schedule's second loop iterates N(v0), the first two loops flatten
+	// into a sweep over CSR edge slots, making work units proportional to
+	// edges instead of vertices — a single hub can no longer serialize a
+	// whole chunk (paper §IV-E's skew problem). Auto enables it for
+	// multi-worker runs on eligible schedules.
+	EdgeParallel EdgeParallelMode
 	// Budget, when positive, aborts the run cooperatively once exceeded
 	// (the experiment harness's equivalent of the paper's 48-hour "T"
 	// cutoff). Use the *Timed variants to learn whether a run completed.
@@ -39,6 +60,28 @@ func (o RunOptions) chunk(n, workers int) int {
 	}
 	if c > 1024 {
 		c = 1024
+	}
+	return c
+}
+
+// edgeChunk sizes edge-parallel tasks: ~64 per worker, floored so the
+// scheduling cursor is not hammered, capped so skew still spreads.
+func (o RunOptions) edgeChunk(m, nv, workers int) int {
+	if o.ChunkSize > 0 {
+		avg := 1
+		if nv > 0 {
+			if avg = m / nv; avg < 1 {
+				avg = 1
+			}
+		}
+		return o.ChunkSize * avg
+	}
+	c := m / (workers * 64)
+	if c < 16 {
+		c = 16
+	}
+	if c > 65536 {
+		c = 65536
 	}
 	return c
 }
@@ -74,7 +117,8 @@ func (c *Config) CountIEP(g *graph.Graph, opt RunOptions) int64 {
 
 // Enumerate invokes visit for every embedding found. The slice passed to
 // visit is indexed by original pattern vertex and reused between calls —
-// copy it to retain. visit may be invoked concurrently from different
+// copy it to retain. Embeddings are reported in original vertex ids even on
+// a Reorder()ed graph. visit may be invoked concurrently from different
 // workers when opt.Workers > 1; returning false stops the enumeration.
 // Enumerate returns the number of embeddings visited (if stopped early, the
 // tally reflects the visits that happened).
@@ -83,13 +127,27 @@ func (c *Config) Enumerate(g *graph.Graph, opt RunOptions, visit func([]uint32) 
 	return n
 }
 
+// EdgeParallelEligible reports whether the first two loops can be flattened
+// into an edge sweep: depth 1 must iterate N(v0) and must not already be
+// consumed by the IEP suffix. External runtimes (the simulated cluster)
+// use it to decide whether Counter.CountEdgeRange tasks are available.
+func (c *Config) EdgeParallelEligible(useIEP bool) bool {
+	if c.n < 2 {
+		return false
+	}
+	if useIEP && c.effectiveIEPK() >= c.n-1 {
+		return false // IEP takes over right after depth 0
+	}
+	cand := c.plan.Cand[1]
+	return cand.Kind == schedule.CandNeighborhood && cand.Parent == 0
+}
+
 func (c *Config) execute(g *graph.Graph, opt RunOptions, useIEP bool, visit func([]uint32) bool) (int64, bool) {
 	nv := g.NumVertices()
 	if nv == 0 {
 		return 0, true
 	}
 	workers := taskpool.Workers(opt.Workers)
-	chunk := opt.chunk(nv, workers)
 	runners := make([]*runner, workers)
 	var stop, timedOut atomic.Bool
 	if opt.Budget > 0 {
@@ -99,17 +157,30 @@ func (c *Config) execute(g *graph.Graph, opt RunOptions, useIEP bool, visit func
 		})
 		defer timer.Stop()
 	}
-	taskpool.Run(workers, nv, chunk, func(w int, rg taskpool.Range) {
-		if stop.Load() {
-			return
+	edgePar := c.EdgeParallelEligible(useIEP) &&
+		opt.EdgeParallel != EdgeParallelOff &&
+		(opt.EdgeParallel == EdgeParallelOn || workers > 1)
+	body := func(run func(r *runner, rg taskpool.Range)) func(int, taskpool.Range) {
+		return func(w int, rg taskpool.Range) {
+			if stop.Load() {
+				return
+			}
+			r := runners[w]
+			if r == nil {
+				r = newRunner(c, g, useIEP, visit, &stop)
+				runners[w] = r
+			}
+			run(r, rg)
 		}
-		r := runners[w]
-		if r == nil {
-			r = newRunner(c, g, useIEP, visit, &stop)
-			runners[w] = r
-		}
-		r.runRoot(rg.Start, rg.End)
-	})
+	}
+	if edgePar {
+		m := g.NumAdjSlots()
+		taskpool.Run(workers, m, opt.edgeChunk(m, nv, workers),
+			body(func(r *runner, rg taskpool.Range) { r.runRootEdges(rg.Start, rg.End) }))
+	} else {
+		taskpool.Run(workers, nv, opt.chunk(nv, workers),
+			body(func(r *runner, rg taskpool.Range) { r.runRoot(rg.Start, rg.End) }))
+	}
 	var total int64
 	for _, r := range runners {
 		if r != nil {
@@ -150,6 +221,15 @@ func (c *Counter) CountRange(start, end int) {
 	c.r.runRoot(start, end)
 }
 
+// CountEdgeRange processes the CSR adjacency slots [start, end) — the
+// edge-parallel task shape. Only valid when the configuration is
+// EdgeParallelEligible; the caller must cover every slot exactly once.
+func (c *Counter) CountEdgeRange(start, end int) {
+	if start < end {
+		c.r.runRootEdges(start, end)
+	}
+}
+
 // Raw returns the accumulated tally, before any IEP scaling.
 func (c *Counter) Raw() int64 { return c.r.count }
 
@@ -171,24 +251,29 @@ type runner struct {
 	bufs  [][]uint32
 	visit func([]uint32) bool
 	emb   []uint32
+	orig  []uint32 // new→old id map of a reordered graph; nil = identity
 	stop  *atomic.Bool
 	count int64
 
+	hasHubs bool
 	useIEP  bool
 	iepCut  int // depth after which IEP takes over; -1 when disabled
 	calc    *iep.Calculator
 	iepSets [][]uint32
+	iepBMs  []vertexset.Bitmap
 }
 
 func newRunner(cfg *Config, g *graph.Graph, useIEP bool, visit func([]uint32) bool, stop *atomic.Bool) *runner {
 	r := &runner{
-		cfg:    cfg,
-		g:      g,
-		bound:  make([]uint32, cfg.n),
-		bufs:   make([][]uint32, cfg.plan.NumBufs),
-		visit:  visit,
-		stop:   stop,
-		iepCut: -1,
+		cfg:     cfg,
+		g:       g,
+		bound:   make([]uint32, cfg.n),
+		bufs:    make([][]uint32, cfg.plan.NumBufs),
+		visit:   visit,
+		orig:    g.NewToOld(),
+		stop:    stop,
+		hasHubs: g.NumHubs() > 0,
+		iepCut:  -1,
 	}
 	maxDeg := g.MaxDegree()
 	for i := range r.bufs {
@@ -202,6 +287,9 @@ func newRunner(cfg *Config, g *graph.Graph, useIEP bool, visit func([]uint32) bo
 		r.iepCut = cfg.n - k - 1
 		r.calc = iep.NewCalculator(k)
 		r.iepSets = make([][]uint32, k)
+		if r.hasHubs {
+			r.iepBMs = make([]vertexset.Bitmap, k)
+		}
 	}
 	return r
 }
@@ -227,52 +315,88 @@ func (r *runner) runRoot(start, end int) {
 	}
 }
 
-// run executes the loop at the given depth (1 ≤ depth ≤ n-1).
-func (r *runner) run(depth int) {
-	cfg := r.cfg
+// runRootEdges executes the flattened first two loops over the CSR slot
+// range [start, end). Each slot is one directed edge (v0, w); tasks are
+// therefore proportional to edges, so a hub's adjacency spreads across many
+// tasks instead of serializing the chunk that owns the hub.
+func (r *runner) runRootEdges(start, end int) {
 	g := r.g
+	v := g.SlotOwner(start)
+	for start < end {
+		if r.stop != nil && r.stop.Load() {
+			return
+		}
+		_, ve := g.AdjSlotRange(v)
+		if ve <= start {
+			v++ // zero-degree vertex or finished adjacency
+			continue
+		}
+		stop := ve
+		if stop > end {
+			stop = end
+		}
+		r.bound[0] = v
+		r.runSteps(0)
+		r.runList(1, g.AdjSlots(start, stop))
+		start = stop
+		v++
+	}
+}
 
-	// Restriction windows: candidates must be > lo and < hi.
-	var lo uint32
-	hasLo := false
+// window returns the restriction window for the loop at depth: candidates
+// must be > lo (when hasLo) and < hi. Taking the max lower bound and min
+// upper bound covers every restriction attached to this depth.
+func (r *runner) window(depth int) (lo uint32, hasLo bool, hi uint32) {
+	cfg := r.cfg
 	for _, p := range cfg.lowers[depth] {
 		if b := r.bound[p]; !hasLo || b > lo {
 			lo, hasLo = b, true
 		}
 	}
-	hi := uint32(maxUint32)
+	hi = uint32(maxUint32)
 	for _, p := range cfg.uppers[depth] {
 		if b := r.bound[p]; b < hi {
 			hi = b
 		}
 	}
+	return lo, hasLo, hi
+}
 
-	cand := cfg.plan.Cand[depth]
-	var cands []uint32
+// run executes the loop at the given depth (1 ≤ depth ≤ n-1).
+func (r *runner) run(depth int) {
+	cand := r.cfg.plan.Cand[depth]
 	switch cand.Kind {
 	case schedule.CandFull:
 		// Unconstrained loop over all data vertices (only inefficient
 		// schedules reach this: Figure 9 measures them too).
-		r.runFull(depth, lo, hasLo, hi)
-		return
+		r.runFull(depth)
 	case schedule.CandNeighborhood:
-		cands = g.Neighbors(r.bound[cand.Parent])
+		r.runList(depth, r.g.Neighbors(r.bound[cand.Parent]))
 	default:
-		cands = r.bufs[cand.Buf]
+		r.runList(depth, r.bufs[cand.Buf])
 	}
+}
+
+// runList executes the loop at depth over an explicit sorted candidate set.
+func (r *runner) runList(depth int, cands []uint32) {
+	cfg := r.cfg
+	lo, hasLo, hi := r.window(depth)
 	if hi != maxUint32 {
 		cands = vertexset.Below(cands, hi)
 	}
 	if hasLo {
 		cands = vertexset.Above(cands, lo)
 	}
-
 	isLeaf := depth == cfg.n-1
 	atCut := depth == r.iepCut
+	// dupCheck lists only the earlier positions whose distinctness is not
+	// already implied by candidate provenance or the restriction window —
+	// usually none, so the O(depth) scan of the seed engine disappears.
+	dup := cfg.dupCheck[depth]
 next:
 	for _, v := range cands {
-		for _, b := range r.bound[:depth] {
-			if b == v {
+		for _, p := range dup {
+			if r.bound[p] == v {
 				continue next
 			}
 		}
@@ -296,8 +420,10 @@ next:
 	}
 }
 
-// runFull is the CandFull variant of run's loop body.
-func (r *runner) runFull(depth int, lo uint32, hasLo bool, hi uint32) {
+// runFull is the CandFull variant of runList: candidates are all data
+// vertices inside the restriction window.
+func (r *runner) runFull(depth int) {
+	lo, hasLo, hi := r.window(depth)
 	start := 0
 	if hasLo {
 		start = int(lo) + 1
@@ -308,11 +434,12 @@ func (r *runner) runFull(depth int, lo uint32, hasLo bool, hi uint32) {
 	}
 	isLeaf := depth == r.cfg.n-1
 	atCut := depth == r.iepCut
+	dup := r.cfg.dupCheck[depth]
 next:
 	for vi := start; vi < end; vi++ {
 		v := uint32(vi)
-		for _, b := range r.bound[:depth] {
-			if b == v {
+		for _, p := range dup {
+			if r.bound[p] == v {
 				continue next
 			}
 		}
@@ -336,28 +463,55 @@ next:
 	}
 }
 
-// runSteps executes the intersections hoisted to this depth.
+// runSteps executes the intersections hoisted to this depth, picking the
+// kernel per step: when either input is a hub adjacency with a precomputed
+// bitmap and the other side is smaller, the O(|small|) bitmap probe replaces
+// the scalar merge/gallop.
 func (r *runner) runSteps(depth int) {
 	for _, st := range r.cfg.plan.Steps[depth] {
 		var left []uint32
+		var leftBM vertexset.Bitmap
 		if st.LeftBuf >= 0 {
 			left = r.bufs[st.LeftBuf]
 		} else {
-			left = r.g.Neighbors(r.bound[st.LeftParent])
+			lp := r.bound[st.LeftParent]
+			left = r.g.Neighbors(lp)
+			if r.hasHubs {
+				leftBM = r.g.HubBitmap(lp)
+			}
 		}
-		right := r.g.Neighbors(r.bound[st.Depth])
-		r.bufs[st.Out] = vertexset.Intersect(r.bufs[st.Out][:0], left, right)
+		rv := r.bound[st.Depth]
+		right := r.g.Neighbors(rv)
+		out := r.bufs[st.Out][:0]
+		if r.hasHubs {
+			if bm := r.g.HubBitmap(rv); bm != nil && len(left) <= len(right) {
+				r.bufs[st.Out] = vertexset.IntersectBitmap(out, left, bm)
+				continue
+			}
+			if leftBM != nil && len(right) < len(left) {
+				r.bufs[st.Out] = vertexset.IntersectBitmap(out, right, leftBM)
+				continue
+			}
+		}
+		r.bufs[st.Out] = vertexset.Intersect(out, left, right)
 	}
 }
 
-// leaf records one embedding.
+// leaf records one embedding, translating back to original vertex ids when
+// the data graph is a degree-ordered relabeling.
 func (r *runner) leaf() {
 	r.count++
 	if r.visit == nil {
 		return
 	}
-	for i, v := range r.bound {
-		r.emb[r.cfg.order[i]] = v
+	if r.orig != nil {
+		for i, v := range r.bound {
+			r.emb[r.cfg.order[i]] = r.orig[v]
+		}
+	} else {
+		for i, v := range r.bound {
+			r.emb[r.cfg.order[i]] = v
+		}
 	}
 	if !r.visit(r.emb) {
 		r.stop.Store(true)
@@ -365,7 +519,9 @@ func (r *runner) leaf() {
 }
 
 // iepCount computes the inclusion–exclusion count of the innermost k loops
-// given the currently bound outer prefix (paper Figure 6: |S_IEP|).
+// given the currently bound outer prefix (paper Figure 6: |S_IEP|). Hub
+// neighborhoods among the candidate sets contribute their bitmaps so the
+// calculator's internal intersections can use the bitmap kernel.
 func (r *runner) iepCount() int64 {
 	cfg := r.cfg
 	k := len(r.iepSets)
@@ -374,14 +530,24 @@ func (r *runner) iepCount() int64 {
 		cand := cfg.plan.Cand[base+i]
 		switch cand.Kind {
 		case schedule.CandNeighborhood:
-			r.iepSets[i] = r.g.Neighbors(r.bound[cand.Parent])
+			p := r.bound[cand.Parent]
+			r.iepSets[i] = r.g.Neighbors(p)
+			if r.iepBMs != nil {
+				r.iepBMs[i] = r.g.HubBitmap(p)
+			}
 		case schedule.CandBuffer:
 			r.iepSets[i] = r.bufs[cand.Buf]
+			if r.iepBMs != nil {
+				r.iepBMs[i] = nil
+			}
 		default:
 			// A disconnected inner vertex would need the whole vertex
 			// set; connected patterns never produce this.
 			panic("core: IEP inner loop with full candidate set")
 		}
+	}
+	if r.iepBMs != nil {
+		return r.calc.CountHybrid(r.iepSets, r.iepBMs, r.bound[:base])
 	}
 	return r.calc.Count(r.iepSets, r.bound[:base])
 }

@@ -31,6 +31,18 @@ type Graph struct {
 
 	name string // optional dataset label, used in reports
 
+	// Degree-ordered relabeling (see reorder.go); nil for graphs not
+	// produced by Reorder.
+	newToOld []uint32
+	oldToNew []uint32
+
+	// Hub adjacency bitmaps (see hubs.go); hubIdx is nil until
+	// BuildHubBitmaps runs.
+	hubIdx   []int32
+	hubBits  []uint64
+	hubWords int
+	numHubs  int
+
 	triOnce sync.Once
 	tri     int64 // cached triangle count
 
@@ -69,6 +81,40 @@ func (g *Graph) Degree(v uint32) int {
 // aliases the graph's storage and must not be modified.
 func (g *Graph) Neighbors(v uint32) []uint32 {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// NumAdjSlots returns the number of directed adjacency entries (2|E|).
+// Slots index the concatenated CSR adjacency array; they are the work units
+// of the engine's edge-parallel root scheduling.
+func (g *Graph) NumAdjSlots() int { return len(g.adj) }
+
+// AdjSlotRange returns the half-open slot interval [start, end) holding the
+// adjacency of v.
+func (g *Graph) AdjSlotRange(v uint32) (start, end int) {
+	return int(g.offsets[v]), int(g.offsets[v+1])
+}
+
+// AdjSlots returns the adjacency entries in the slot interval [from, to).
+// The slice aliases the graph's storage and must not be modified.
+func (g *Graph) AdjSlots(from, to int) []uint32 {
+	return g.adj[from:to]
+}
+
+// SlotOwner returns the vertex whose adjacency contains the given slot: the
+// unique v with offsets[v] <= slot < offsets[v+1].
+func (g *Graph) SlotOwner(slot int) uint32 {
+	s := int64(slot)
+	// Binary search for the last offset <= s.
+	lo, hi := 0, len(g.offsets)-1 // invariant: offsets[lo] <= s < offsets[hi]
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.offsets[mid] <= s {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return uint32(lo)
 }
 
 // HasEdge reports whether the undirected edge {u, v} exists.

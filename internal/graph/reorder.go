@@ -1,0 +1,111 @@
+package graph
+
+import "sort"
+
+// This file implements the degree-ordered relabeling pass of the hybrid
+// adjacency engine. Relabeling vertices so that ids descend by degree has two
+// compounding effects on the GraphPi execution engine:
+//
+//   - restriction windows (vertexset.Below/Above) cut candidate sets much
+//     earlier: the high-degree vertices that dominate candidate lists now
+//     cluster at the low end of the id space, so an id(x) < id(y) restriction
+//     prunes the bulk of a hub adjacency in one binary search;
+//   - hub detection becomes a plain id threshold: the top-K vertices by
+//     degree are exactly ids [0, K), which is what the bitmap layer (hubs.go)
+//     exploits.
+//
+// Embedding counts are invariant under relabeling (restrictions only need
+// *some* consistent total order), but reported embeddings must use original
+// ids, so the reordered graph carries the old↔new maps and the engine
+// translates at the leaves.
+
+// Reorder returns a copy of the graph relabeled so vertex ids descend by
+// degree (new id 0 has maximum degree; ties break by ascending current id).
+// The returned graph remembers the id maps: NewToOld/OldToNew return them and
+// the execution engine uses them to report original ids from Enumerate.
+// Reordering a graph that is itself reordered composes the maps, so OrigID
+// always reaches the ids of the graph the chain started from.
+func (g *Graph) Reorder() *Graph {
+	n := g.NumVertices()
+	if n == 0 {
+		return &Graph{name: g.name}
+	}
+	order := degreeDescOrder(g) // new id → current id
+	// cur2new relabels this graph's ids; the stored maps compose with any
+	// previous reordering so OrigID always reaches the pre-Reorder ids of
+	// the ORIGINAL graph, keeping Enumerate's original-id contract intact
+	// even for Reorder-of-Reorder.
+	cur2new := make([]uint32, n)
+	for newV, curV := range order {
+		cur2new[curV] = uint32(newV)
+	}
+	newToOld := order
+	if g.newToOld != nil {
+		newToOld = make([]uint32, n)
+		for newV, curV := range order {
+			newToOld[newV] = g.newToOld[curV]
+		}
+	}
+	oldToNew := make([]uint32, n)
+	for newV, oldV := range newToOld {
+		oldToNew[oldV] = uint32(newV)
+	}
+	out := &Graph{
+		offsets:  make([]int64, n+1),
+		name:     g.name,
+		newToOld: newToOld,
+		oldToNew: oldToNew,
+	}
+	for newV, curV := range order {
+		out.offsets[newV+1] = out.offsets[newV] + int64(g.Degree(curV))
+	}
+	out.adj = make([]uint32, out.offsets[n])
+	for newV, curV := range order {
+		dst := out.adj[out.offsets[newV]:out.offsets[newV+1]]
+		for i, w := range g.Neighbors(curV) {
+			dst[i] = cur2new[w]
+		}
+		sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+	}
+	return out
+}
+
+// degreeDescOrder returns the vertex ids sorted by descending degree with
+// ascending-id tie-break — the one ordering shared by Reorder and
+// BuildHubBitmaps, so "hubs are the id prefix of a reordered graph" holds
+// by construction.
+func degreeDescOrder(g *Graph) []uint32 {
+	order := make([]uint32, g.NumVertices())
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// IsReordered reports whether this graph was produced by Reorder.
+func (g *Graph) IsReordered() bool { return g.newToOld != nil }
+
+// NewToOld returns the new→old id map of a reordered graph (nil otherwise).
+// The returned slice is the graph's own storage; do not modify.
+func (g *Graph) NewToOld() []uint32 { return g.newToOld }
+
+// OldToNew returns the old→new id map of a reordered graph (nil otherwise).
+// The returned slice is the graph's own storage; do not modify.
+func (g *Graph) OldToNew() []uint32 { return g.oldToNew }
+
+// OrigID maps a vertex id of this graph back to the id in the original
+// (never-reordered) graph at the root of the Reorder chain. For
+// non-reordered graphs it is the identity.
+func (g *Graph) OrigID(v uint32) uint32 {
+	if g.newToOld == nil {
+		return v
+	}
+	return g.newToOld[v]
+}

@@ -86,6 +86,9 @@ func signedFactorial(c int) int64 {
 type Calculator struct {
 	k     int
 	terms []Term
+	// bms, when non-nil, holds a bitmap view of each input set (nil entries
+	// allowed); set per CountHybrid call.
+	bms []vertexset.Bitmap
 	// memo state, reset per Count call.
 	cards [1 << MaxK]int64
 	valid [1 << MaxK]bool
@@ -106,9 +109,19 @@ func (c *Calculator) K() int { return c.k }
 // e_i ∈ sets[i] \ excluded. sets[i] must be ascending; excluded is the list
 // of already-bound data vertices (not necessarily sorted, typically tiny).
 func (c *Calculator) Count(sets [][]uint32, excluded []uint32) int64 {
+	return c.CountHybrid(sets, nil, excluded)
+}
+
+// CountHybrid is Count with optional hub bitmaps: bms[i], when non-nil, is a
+// bitmap representation of sets[i] (a hub adjacency precomputed by the graph
+// layer), letting the internal intersections run the O(|small|) bitmap kernel
+// instead of the scalar merge. bms may be nil or must have len(bms) == k.
+// The result is identical to Count.
+func (c *Calculator) CountHybrid(sets [][]uint32, bms []vertexset.Bitmap, excluded []uint32) int64 {
 	if len(sets) != c.k {
 		panic("iep: set count mismatch")
 	}
+	c.bms = bms
 	// Early exit: an empty candidate set annihilates every term.
 	for i, s := range sets {
 		c.valid[uint16(1)<<i] = false
@@ -178,7 +191,13 @@ func (c *Calculator) intersection(mask uint16, sets [][]uint32) []uint32 {
 	hi := 15 - bits.LeadingZeros16(mask)
 	rest := mask &^ (1 << hi)
 	left := c.intersection(rest, sets)
-	c.inter[mask] = vertexset.Intersect(c.inter[mask][:0], left, sets[hi])
+	// Hub fast path: when the peeled set has a bitmap and the running
+	// intersection is the smaller side, probe the bitmap in O(|left|).
+	if c.bms != nil && c.bms[hi] != nil && len(left) <= len(sets[hi]) {
+		c.inter[mask] = vertexset.IntersectBitmap(c.inter[mask][:0], left, c.bms[hi])
+	} else {
+		c.inter[mask] = vertexset.Intersect(c.inter[mask][:0], left, sets[hi])
+	}
 	return c.inter[mask]
 }
 
@@ -189,6 +208,14 @@ func (c *Calculator) intersection(mask uint16, sets [][]uint32) []uint32 {
 // more terms than Count (2^C(k,2)); retained as the executable
 // specification for cross-checking.
 func CountPairSubsets(sets [][]uint32, excluded []uint32) int64 {
+	return CountPairSubsetsHybrid(sets, nil, excluded)
+}
+
+// CountPairSubsetsHybrid is CountPairSubsets with optional hub bitmaps,
+// computing each component cardinality with the bitmap-aware multi-way
+// intersection kernel. It is the executable specification cross-checking
+// Calculator.CountHybrid.
+func CountPairSubsetsHybrid(sets [][]uint32, bms []vertexset.Bitmap, excluded []uint32) int64 {
 	k := len(sets)
 	if k == 0 {
 		return 0
@@ -202,12 +229,16 @@ func CountPairSubsets(sets [][]uint32, excluded []uint32) int64 {
 	}
 	cardOf := func(mask uint16) int64 {
 		var members [][]uint32
+		var memberBMs []vertexset.Bitmap
 		for i := 0; i < k; i++ {
 			if mask&(1<<i) != 0 {
 				members = append(members, sets[i])
+				if bms != nil {
+					memberBMs = append(memberBMs, bms[i])
+				}
 			}
 		}
-		set := vertexset.IntersectMulti(nil, nil, members...)
+		set := vertexset.IntersectMultiHybrid(nil, nil, members, memberBMs)
 		return int64(len(set)) - excludedHits(set, excluded)
 	}
 	var total int64

@@ -169,7 +169,9 @@ func steal(queues []*stealQueue, self int) (Range, bool) {
 		if t, ok := queues[victim].popBack(); ok {
 			return t, true
 		}
-		// Lost the race; rescan.
+		// Lost the race; yield before rescanning so near-empty queues with
+		// many workers don't spin hot on the victim-selection loop.
+		runtime.Gosched()
 	}
 }
 
