@@ -5,6 +5,7 @@
 //	graphpi -graph data.txt -pattern house
 //	graphpi -dataset WikiVote-S -pattern p3 -iep
 //	graphpi -graph data.bin -pattern-adj 5:0110110011... -list -limit 10
+//	graphpi -dataset Orkut-S -pattern house -iep -nodes 4 -node-workers 2
 //
 // Patterns can be named (triangle, rectangle, pentagon, house, cycle6tri,
 // p1..p6, k4..k7) or given as an n:adjacency-matrix string. The tool prints
@@ -37,6 +38,9 @@ func main() {
 		hybrid      = flag.Bool("hybrid", false, "run on the degree-ordered, bitmap-accelerated hybrid adjacency view")
 		hubBudget   = flag.Int64("hub-budget", 0, "hub bitmap memory budget in bytes with -hybrid (0 = 64 MiB default)")
 		baseline    = flag.Bool("graphzero", false, "plan like the GraphZero baseline")
+		edgePar     = flag.String("edge-parallel", "auto", "root task shape: auto, on, or off")
+		nodes       = flag.Int("nodes", 0, "count on a simulated cluster with this many nodes (0 = single process)")
+		nodeWorkers = flag.Int("node-workers", 2, "worker goroutines per simulated node with -nodes")
 		emitGo      = flag.String("emit-go", "", "write standalone Go source for the planned configuration to this path and exit")
 	)
 	flag.Parse()
@@ -61,6 +65,25 @@ func main() {
 	opts := []graphpi.Option{graphpi.WithWorkers(*workers)}
 	if *baseline {
 		opts = append(opts, graphpi.WithGraphZeroBaseline())
+	}
+	switch strings.ToLower(*edgePar) {
+	case "auto":
+	case "on":
+		opts = append(opts, graphpi.WithEdgeParallelRoots(true))
+	case "off":
+		opts = append(opts, graphpi.WithEdgeParallelRoots(false))
+	default:
+		fail(fmt.Errorf("-edge-parallel must be auto, on or off, got %q", *edgePar))
+	}
+	if *nodes > 0 {
+		if *list || *emitGo != "" {
+			fail(fmt.Errorf("-nodes counts only; it cannot be combined with -list or -emit-go"))
+		}
+		if *workers != 0 {
+			fmt.Fprintln(os.Stderr, "graphpi: -workers is ignored with -nodes; use -node-workers")
+		}
+		runCluster(g, p, *nodes, *nodeWorkers, *useIEP, opts)
+		return
 	}
 	plan, err := graphpi.NewPlan(g, p, opts...)
 	if err != nil {
@@ -98,6 +121,32 @@ func main() {
 		count := plan.Count()
 		fmt.Printf("count: %d in %v\n", count, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runCluster counts on the simulated multi-node runtime and reports the
+// per-node load balance (tasks, busy time) alongside the count.
+func runCluster(g *graphpi.Graph, p *graphpi.Pattern, nodes, workersPerNode int, useIEP bool, opts []graphpi.Option) {
+	res, err := graphpi.ClusterCount(g, p, graphpi.ClusterOptions{
+		Nodes:          nodes,
+		WorkersPerNode: workersPerNode,
+		UseIEP:         useIEP,
+	}, opts...)
+	if err != nil {
+		fail(err)
+	}
+	shape := "vertex ranges"
+	if res.EdgeParallel {
+		shape = "edge slots"
+	}
+	fmt.Printf("cluster: %d nodes x %d workers, %d tasks (%s), %d steals\n",
+		nodes, workersPerNode, res.Tasks, shape, res.Steals)
+	for i := range res.TasksPerNode {
+		fmt.Printf("  node %d: %5d tasks, busy %v\n",
+			i, res.TasksPerNode[i], res.BusyPerNode[i].Round(time.Microsecond))
+	}
+	fmt.Printf("count: %d in %v (max busy share %.2f, ideal %.2f)\n",
+		res.Count, res.Elapsed.Round(time.Millisecond),
+		res.MaxBusyShare(), 1/float64(nodes))
 }
 
 func loadGraph(path, ds string, scale float64) (*graphpi.Graph, error) {

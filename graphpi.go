@@ -133,7 +133,12 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 	return &Graph{g: gg}, nil
 }
 
-// SaveBinary writes the fast binary snapshot format.
+// SaveBinary writes the fast binary snapshot format (GPiCSR2). Snapshots of
+// an Optimize()d graph persist the degree-ordered id maps and the hub-bitmap
+// budget, so the hybrid view's Reorder cost is paid once per dataset:
+// LoadGraph restores the view (bitmaps are rebuilt, not stored) and
+// Enumerate keeps reporting original vertex ids. Snapshots written by the
+// previous release (GPiCSR1) still load.
 func (g *Graph) SaveBinary(path string) error { return graph.SaveBinaryFile(path, g.g) }
 
 // LoadDataset builds one of the six named synthetic stand-in datasets
@@ -364,6 +369,29 @@ func Count(g *Graph, p *Pattern, opts ...Option) (int64, error) {
 	return pl.CountIEP(), nil
 }
 
+// EdgeParallelMode selects the cluster's task shape: Auto (the zero value)
+// packs edge-slot tasks whenever the planned schedule is eligible and more
+// than one worker runs in total, On forces them whenever eligible, Off
+// always packs outer-loop vertex ranges.
+type EdgeParallelMode int
+
+const (
+	EdgeParallelAuto EdgeParallelMode = iota
+	EdgeParallelOn
+	EdgeParallelOff
+)
+
+func (m EdgeParallelMode) core() core.EdgeParallelMode {
+	switch m {
+	case EdgeParallelOn:
+		return core.EdgeParallelOn
+	case EdgeParallelOff:
+		return core.EdgeParallelOff
+	default:
+		return core.EdgeParallelAuto
+	}
+}
+
 // ClusterOptions configures a simulated distributed run (paper §IV-E).
 type ClusterOptions struct {
 	// Nodes is the number of simulated compute nodes (MPI ranks).
@@ -372,17 +400,41 @@ type ClusterOptions struct {
 	WorkersPerNode int
 	// UseIEP enables Inclusion-Exclusion counting.
 	UseIEP bool
+	// EdgeParallel selects the task shape. Leaving it Auto defers to
+	// WithEdgeParallelRoots when that option is present, otherwise to the
+	// automatic eligibility check.
+	EdgeParallel EdgeParallelMode
+	// StealThreshold is the queue length below which a node's
+	// communication goroutine steals from peers (< 1 → 2).
+	StealThreshold int
+	// ChunkSize is the task granularity in outermost-loop vertices
+	// (< 1 → adaptive; WithChunkSize applies when this is unset). Under
+	// edge-parallel scheduling the value is scaled by the average degree.
+	ChunkSize int
 }
 
 // ClusterResult reports a simulated distributed run.
 type ClusterResult struct {
 	Count   int64
 	Elapsed time.Duration
+	// Tasks is the total number of tasks the master created.
+	Tasks int
+	// EdgeParallel reports whether the run used edge-slot tasks.
+	EdgeParallel bool
 	// TasksPerNode is how many tasks each simulated node executed (load
 	// balance evidence).
 	TasksPerNode []int64
+	// BusyPerNode is the wall time each node's workers spent executing
+	// tasks; the spread across nodes measures load balance.
+	BusyPerNode []time.Duration
 	// Steals is the total number of cross-node task steals.
 	Steals int64
+}
+
+// MaxBusyShare returns the largest per-node fraction of the total busy time
+// (0 when none was recorded). Perfect balance is 1/Nodes.
+func (r *ClusterResult) MaxBusyShare() float64 {
+	return cluster.MaxBusyShare(r.BusyPerNode)
 }
 
 // EstimateCount approximates the embedding count with an ASAP-style
@@ -427,24 +479,43 @@ func CountLabeled(g *Graph, vertexLabels []VertexLabel, p *Pattern, patternLabel
 }
 
 // ClusterCount plans and counts on a simulated cluster with per-node task
-// queues and cross-node work stealing.
+// queues and cross-node work stealing. Plan options apply: WithChunkSize
+// sets the task granularity (unless ClusterOptions.ChunkSize overrides it)
+// and WithEdgeParallelRoots forces the task shape when
+// ClusterOptions.EdgeParallel is left Auto.
 func ClusterCount(g *Graph, p *Pattern, copt ClusterOptions, opts ...Option) (*ClusterResult, error) {
 	pl, err := NewPlan(g, p, opts...)
 	if err != nil {
 		return nil, err
 	}
+	edgePar := copt.EdgeParallel.core()
+	if copt.EdgeParallel == EdgeParallelAuto {
+		edgePar = pl.opts.edgePar
+	}
+	chunk := copt.ChunkSize
+	if chunk < 1 {
+		chunk = pl.opts.chunkSize
+	}
 	res, err := cluster.Run(pl.cfg, g.g, cluster.Options{
 		Nodes:          copt.Nodes,
 		WorkersPerNode: copt.WorkersPerNode,
 		UseIEP:         copt.UseIEP,
-		ChunkSize:      pl.opts.chunkSize,
+		EdgeParallel:   edgePar,
+		StealThreshold: copt.StealThreshold,
+		ChunkSize:      chunk,
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := &ClusterResult{Count: res.Count, Elapsed: res.Elapsed}
+	out := &ClusterResult{
+		Count:        res.Count,
+		Elapsed:      res.Elapsed,
+		Tasks:        res.Tasks,
+		EdgeParallel: res.EdgeParallel,
+	}
 	for _, ns := range res.Nodes {
 		out.TasksPerNode = append(out.TasksPerNode, ns.TasksRun)
+		out.BusyPerNode = append(out.BusyPerNode, ns.BusyTime)
 		out.Steals += ns.StealsReceived
 	}
 	return out, nil

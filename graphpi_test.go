@@ -3,6 +3,7 @@ package graphpi
 import (
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -172,6 +173,134 @@ func TestClusterCountFacade(t *testing.T) {
 	}
 	if len(res.TasksPerNode) != 3 {
 		t.Errorf("TasksPerNode = %v", res.TasksPerNode)
+	}
+	if len(res.BusyPerNode) != 3 {
+		t.Errorf("BusyPerNode = %v", res.BusyPerNode)
+	}
+	if res.Tasks <= 0 {
+		t.Errorf("Tasks = %d, want > 0", res.Tasks)
+	}
+}
+
+// TestClusterCountHybridEquivalence pins the facade's distributed counts to
+// the single-node engine across {plain, IEP} x {1, N} nodes x {vertex, edge}
+// task shapes on both the original and Optimize()d graph for the named
+// pattern suite — including the plan options (WithEdgeParallelRoots,
+// WithChunkSize) the facade now threads through to the cluster runtime.
+func TestClusterCountHybridEquivalence(t *testing.T) {
+	g := GenerateBA(250, 5, 17)
+	og := g.Optimize(1 << 22)
+	suite := []*Pattern{Triangle(), Rectangle(), House(), Cycle6Tri()}
+	for _, p := range suite {
+		want, err := Count(g, p, WithWorkers(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi, dg := range []*Graph{g, og} {
+			for _, useIEP := range []bool{false, true} {
+				for _, nodes := range []int{1, 3} {
+					for _, mode := range []EdgeParallelMode{EdgeParallelOff, EdgeParallelOn} {
+						res, err := ClusterCount(dg, p, ClusterOptions{
+							Nodes:          nodes,
+							WorkersPerNode: 2,
+							UseIEP:         useIEP,
+							EdgeParallel:   mode,
+							StealThreshold: 1,
+						}, WithChunkSize(8))
+						if err != nil {
+							t.Fatal(err)
+						}
+						if res.Count != want {
+							t.Errorf("%s optimized=%v iep=%v nodes=%d mode=%d: count = %d, want %d",
+								p.Name(), gi == 1, useIEP, nodes, mode, res.Count, want)
+						}
+						if mode == EdgeParallelOff && res.EdgeParallel {
+							t.Errorf("%s: EdgeParallelOff ran slot tasks", p.Name())
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestClusterCountEdgeParallelOption checks that WithEdgeParallelRoots is no
+// longer silently ignored by the facade: forcing it off must yield vertex
+// tasks even when the schedule is eligible.
+func TestClusterCountEdgeParallelOption(t *testing.T) {
+	g := GenerateBA(300, 4, 9)
+	p := Triangle()
+	off, err := ClusterCount(g, p, ClusterOptions{Nodes: 2, WorkersPerNode: 2},
+		WithEdgeParallelRoots(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.EdgeParallel {
+		t.Error("WithEdgeParallelRoots(false) ignored by ClusterCount")
+	}
+	on, err := ClusterCount(g, p, ClusterOptions{Nodes: 2, WorkersPerNode: 2},
+		WithEdgeParallelRoots(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.EdgeParallel {
+		t.Error("WithEdgeParallelRoots(true) ignored by ClusterCount")
+	}
+	if on.Count != off.Count {
+		t.Errorf("edge %d != vertex %d", on.Count, off.Count)
+	}
+}
+
+// TestOptimizedSnapshotRoundTrip pins the headline snapshot fix: an
+// Optimize()d graph survives SaveBinary→LoadGraph with Enumerate still
+// reporting original vertex ids (pre-fix, the reorder map was silently
+// dropped and internal ids leaked out).
+func TestOptimizedSnapshotRoundTrip(t *testing.T) {
+	g := GenerateBA(300, 5, 33)
+	og := g.Optimize(0)
+	path := filepath.Join(t.TempDir(), "opt.bin")
+	if err := og.SaveBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.IsOptimized() {
+		t.Fatal("loaded snapshot lost the hybrid view")
+	}
+	p := Triangle()
+	ref, err := NewPlan(g, p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two plans pick restriction orientations over different internal id
+	// orders, so the same triangle can surface as different automorphic
+	// representatives; compare as vertex sets.
+	key := func(emb []uint32) [3]uint32 {
+		k := [3]uint32{emb[0], emb[1], emb[2]}
+		sort.Slice(k[:], func(i, j int) bool { return k[i] < k[j] })
+		return k
+	}
+	want := map[[3]uint32]bool{}
+	ref.Enumerate(func(emb []uint32) bool {
+		want[key(emb)] = true
+		return true
+	})
+	pl, err := NewPlan(loaded, p, WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	pl.Enumerate(func(emb []uint32) bool {
+		n++
+		if !want[key(emb)] {
+			t.Fatalf("embedding %v not in original-id reference set", emb)
+		}
+		return true
+	})
+	if int(n) != len(want) {
+		t.Errorf("enumerated %d embeddings, want %d", n, len(want))
 	}
 }
 

@@ -11,8 +11,12 @@
 //
 //   - Node — an MPI rank: a task queue, W worker goroutines, and a
 //     communication goroutine serving steal requests from peers.
-//   - The master (Run) packs outer-loop vertex ranges into tasks and deals
-//     them to the nodes.
+//   - The master (Run) packs outer-loop ranges into tasks and deals them to
+//     the nodes. When the planned schedule is edge-parallel eligible the
+//     ranges cover CSR adjacency slots (Counter.CountEdgeRange) so a hub
+//     vertex's work spreads across many tasks; otherwise they cover
+//     outermost-loop vertices (Counter.CountRange), mirroring the
+//     single-node engine's auto mode.
 //   - When a node's queue drops below StealThreshold, its communication
 //     goroutine requests work from the peer with the longest queue; the
 //     victim's communication goroutine replies with half its remainder.
@@ -25,6 +29,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,8 +46,10 @@ type Options struct {
 	// WorkersPerNode is the number of worker goroutines per node (the
 	// paper runs 24 OpenMP threads per rank); ≥ 1.
 	WorkersPerNode int
-	// ChunkSize is the number of outermost-loop vertices per task
-	// (< 1 → adaptive).
+	// ChunkSize is the task granularity in outermost-loop vertices
+	// (< 1 → adaptive). Under edge-parallel scheduling the value is scaled
+	// by the average degree so it stays in vertex units for both
+	// disciplines, exactly like core.RunOptions.ChunkSize.
 	ChunkSize int
 	// StealThreshold: a node's comm goroutine steals when its queue is
 	// shorter than this (< 1 → 2, the behavior of the paper's
@@ -50,6 +57,11 @@ type Options struct {
 	StealThreshold int
 	// UseIEP enables inclusion–exclusion counting.
 	UseIEP bool
+	// EdgeParallel selects the task shape. Auto (the zero value) packs
+	// edge-slot tasks whenever the schedule is eligible and more than one
+	// worker runs in total; On forces slot tasks whenever eligible; Off
+	// always packs vertex ranges (the pre-hybrid behavior).
+	EdgeParallel core.EdgeParallelMode
 	// NodeDelay artificially slows one node per task (failure/straggler
 	// injection for tests); 0 disables.
 	NodeDelay time.Duration
@@ -57,7 +69,9 @@ type Options struct {
 	DelayedNode int
 }
 
-func (o *Options) normalize(numTasks int) {
+// normalize clamps the options to runnable values. Chunk sizing reads the
+// normalized node/worker counts, so it must run before tasks are packed.
+func (o *Options) normalize() {
 	if o.Nodes < 1 {
 		o.Nodes = 1
 	}
@@ -67,8 +81,10 @@ func (o *Options) normalize(numTasks int) {
 	if o.StealThreshold < 1 {
 		o.StealThreshold = 2
 	}
-	_ = numTasks
 }
+
+// totalWorkers returns the cluster-wide worker count of normalized options.
+func (o Options) totalWorkers() int { return o.Nodes * o.WorkersPerNode }
 
 // NodeStats describes one node's activity during a run.
 type NodeStats struct {
@@ -79,6 +95,12 @@ type NodeStats struct {
 	// StealsReceived is the number of tasks this node obtained by
 	// stealing.
 	StealsReceived int64
+	// BusyTime is the wall time the node's workers spent executing tasks
+	// (injected NodeDelay excluded — slowness shows up as fewer tasks
+	// executed, not as work done). The spread of BusyTime across nodes is
+	// the load-balance evidence of §IV-E: a node pinned by an indivisible
+	// hub task shows up holding nearly 100% of the total busy time.
+	BusyTime time.Duration
 }
 
 // Result is the outcome of a cluster run.
@@ -88,6 +110,36 @@ type Result struct {
 	Nodes   []NodeStats
 	// Tasks is the total number of tasks the master created.
 	Tasks int
+	// EdgeParallel reports whether the master packed edge-slot tasks
+	// (true) or vertex ranges (false).
+	EdgeParallel bool
+}
+
+// MaxBusyShare returns the largest fraction of the total across per-node
+// busy times (0 when no busy time was recorded). Perfect balance is
+// 1/len(busy). It is exported so facade result types can reuse the metric.
+func MaxBusyShare(busy []time.Duration) float64 {
+	var total, max time.Duration
+	for _, b := range busy {
+		total += b
+		if b > max {
+			max = b
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) / float64(total)
+}
+
+// MaxBusyShare returns the largest per-node fraction of the total busy time
+// (0 when no busy time was recorded). Perfect balance is 1/len(Nodes).
+func (r *Result) MaxBusyShare() float64 {
+	busy := make([]time.Duration, len(r.Nodes))
+	for i, ns := range r.Nodes {
+		busy[i] = ns.BusyTime
+	}
+	return MaxBusyShare(busy)
 }
 
 // message types exchanged between node communication goroutines.
@@ -102,8 +154,9 @@ type node struct {
 	queue []taskpool.Range
 	head  int
 
-	inbox chan stealRequest
-	stats NodeStats
+	inbox  chan stealRequest
+	busyNS atomic.Int64
+	stats  NodeStats
 }
 
 func (n *node) pop() (taskpool.Range, bool) {
@@ -145,23 +198,45 @@ func (n *node) push(tasks []taskpool.Range) {
 	n.queue = append(n.queue, tasks...)
 }
 
-// Run executes the configuration on a simulated cluster and returns the
-// embedding count with per-node statistics. Counts are exact and identical
-// for any node/worker configuration.
-func Run(cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
-	nv := g.NumVertices()
-	if nv == 0 {
-		return &Result{}, nil
+// packTasks decides the task shape and splits the outer loops accordingly.
+// Edge-parallel slot tasks are the fine-grained partitioning of §IV-E: work
+// units become proportional to edges, so one hub vertex can no longer pin an
+// entire node while its peers steal crumbs.
+func packTasks(cfg *core.Config, g *graph.Graph, opt Options) ([]taskpool.Range, bool) {
+	edgePar := cfg.EdgeParallelEligible(opt.UseIEP) &&
+		opt.EdgeParallel != core.EdgeParallelOff &&
+		(opt.EdgeParallel == core.EdgeParallelOn || opt.totalWorkers() > 1)
+	if edgePar {
+		m := g.NumAdjSlots()
+		chunk := opt.ChunkSize
+		if chunk > 0 {
+			// Vertex-unit request: scale by the mean directed degree so
+			// the task count matches the vertex discipline's.
+			if avg := m / g.NumVertices(); avg > 1 {
+				chunk *= avg
+			}
+		} else {
+			chunk = taskpool.AdaptiveChunk(m, opt.totalWorkers(), 16, 16, 65536)
+		}
+		return taskpool.SplitChunks(m, chunk), true
 	}
+	nv := g.NumVertices()
 	chunk := opt.ChunkSize
 	if chunk < 1 {
-		chunk = nv / (maxInt(opt.Nodes, 1) * maxInt(opt.WorkersPerNode, 1) * 16)
-		if chunk < 1 {
-			chunk = 1
-		}
+		chunk = taskpool.AdaptiveChunk(nv, opt.totalWorkers(), 16, 1, 0)
 	}
-	tasks := taskpool.SplitChunks(nv, chunk)
-	opt.normalize(len(tasks))
+	return taskpool.SplitChunks(nv, chunk), false
+}
+
+// Run executes the configuration on a simulated cluster and returns the
+// embedding count with per-node statistics. Counts are exact and identical
+// for any node/worker configuration and either task shape.
+func Run(cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
+	opt.normalize()
+	if g.NumVertices() == 0 {
+		return &Result{Nodes: make([]NodeStats, opt.Nodes)}, nil
+	}
+	tasks, edgePar := packTasks(cfg, g, opt)
 
 	nodes := make([]*node, opt.Nodes)
 	for i := range nodes {
@@ -215,7 +290,7 @@ func Run(cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
 				for {
 					t, ok := nd.pop()
 					if !ok {
-						if !trySteal(nd, nodes, opt, &pending) {
+						if !trySteal(nd, nodes, opt) {
 							if pending.Load() == 0 {
 								break
 							}
@@ -227,11 +302,27 @@ func Run(cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
 						continue
 					}
 					if opt.NodeDelay > 0 && nd.id == opt.DelayedNode {
+						// Injected slowness is deliberately not counted as
+						// busy time: BusyTime measures how the useful work
+						// spread across nodes, and a straggler's handicap
+						// shows up as fewer tasks executed.
 						time.Sleep(opt.NodeDelay)
 					}
-					counter.CountRange(t.Start, t.End)
+					t0 := time.Now()
+					if edgePar {
+						counter.CountEdgeRange(t.Start, t.End)
+					} else {
+						counter.CountRange(t.Start, t.End)
+					}
+					nd.busyNS.Add(int64(time.Since(t0)))
 					atomic.AddInt64(&nd.stats.TasksRun, 1)
 					pending.Add(-1)
+					// Yield between tasks so simulated ranks interleave
+					// fairly even when the host has fewer cores than the
+					// cluster has workers; without this, one goroutine can
+					// drain every queue before its peers are scheduled —
+					// a shared-CPU artifact, not a property of §IV-E.
+					runtime.Gosched()
 				}
 				rawCounts[slot] = counter.Raw()
 			}(nd, ni*opt.WorkersPerNode+w)
@@ -246,9 +337,10 @@ func Run(cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
 		raw += c
 	}
 	res := &Result{
-		Elapsed: time.Since(start),
-		Tasks:   len(tasks),
-		Nodes:   make([]NodeStats, opt.Nodes),
+		Elapsed:      time.Since(start),
+		Tasks:        len(tasks),
+		Nodes:        make([]NodeStats, opt.Nodes),
+		EdgeParallel: edgePar,
 	}
 	if opt.UseIEP {
 		res.Count = cfg.ScaleIEP(raw)
@@ -256,6 +348,7 @@ func Run(cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
 		res.Count = raw
 	}
 	for i, nd := range nodes {
+		nd.stats.BusyTime = time.Duration(nd.busyNS.Load())
 		res.Nodes[i] = nd.stats
 	}
 	return res, nil
@@ -263,7 +356,7 @@ func Run(cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
 
 // trySteal asks the richest peer's communication goroutine for work and
 // pushes the reply into the local queue. Returns true if tasks arrived.
-func trySteal(self *node, nodes []*node, opt Options, pending *atomic.Int64) bool {
+func trySteal(self *node, nodes []*node, opt Options) bool {
 	if len(nodes) == 1 {
 		return false
 	}
@@ -299,15 +392,12 @@ func trySteal(self *node, nodes []*node, opt Options, pending *atomic.Int64) boo
 	return true
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // String renders per-node statistics compactly.
 func (r *Result) String() string {
-	return fmt.Sprintf("count=%d elapsed=%v tasks=%d nodes=%d",
-		r.Count, r.Elapsed, r.Tasks, len(r.Nodes))
+	shape := "vertex"
+	if r.EdgeParallel {
+		shape = "edge"
+	}
+	return fmt.Sprintf("count=%d elapsed=%v tasks=%d(%s) nodes=%d",
+		r.Count, r.Elapsed, r.Tasks, shape, len(r.Nodes))
 }

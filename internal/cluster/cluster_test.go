@@ -7,6 +7,8 @@ import (
 	"graphpi/internal/core"
 	"graphpi/internal/graph"
 	"graphpi/internal/pattern"
+	"graphpi/internal/restrict"
+	"graphpi/internal/schedule"
 )
 
 func planFor(t *testing.T, g *graph.Graph, p *pattern.Pattern) *core.Config {
@@ -102,6 +104,146 @@ func TestClusterTinyGraph(t *testing.T) {
 	res, err = Run(cfg, empty, Options{Nodes: 2})
 	if err != nil || res.Count != 0 {
 		t.Errorf("empty graph: %v %v", res, err)
+	}
+}
+
+// starRingGraph builds the extreme-skew fixture of the single-node balance
+// test (core.TestEdgeParallelBalance): a hub adjacent to every other vertex
+// plus a ring among the non-hub vertices. Under a restriction orientation
+// that makes the max-id hub the root of essentially all the work, one
+// vertex-range task owns ~100% of the compute.
+func starRingGraph(n int) *graph.Graph {
+	bld := graph.NewBuilder(n, 2*n)
+	hub := uint32(n - 1)
+	for v := uint32(0); v+1 < hub; v++ {
+		bld.AddEdge(v, v+1)
+	}
+	for v := uint32(0); v < hub; v++ {
+		bld.AddEdge(hub, v)
+	}
+	g, err := bld.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// hubRootTriangle compiles a triangle configuration oriented so the max-id
+// vertex (the hub) performs the candidate sweep.
+func hubRootTriangle(t testing.TB) *core.Config {
+	t.Helper()
+	cfg, err := core.NewConfig(pattern.Triangle(),
+		schedule.Schedule{Order: []uint8{0, 1, 2}},
+		restrict.Set{{First: 0, Second: 1}, {First: 1, Second: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestClusterEdgeParallelBalance is the cluster-level analogue of
+// core.TestEdgeParallelBalance: on the extreme-skew fixture, vertex-range
+// tasks pin one node with nearly all the busy time (the hub's chunk is
+// indivisible, so stealing cannot help), while edge-parallel slot tasks
+// spread the hub's adjacency across many stealable tasks and the max
+// per-node busy-time share collapses below 2x the ideal 1/Nodes share —
+// even when one node is an injected straggler.
+func TestClusterEdgeParallelBalance(t *testing.T) {
+	const nodes = 4
+	g := starRingGraph(30000)
+	cfg := hubRootTriangle(t)
+	if !cfg.EdgeParallelEligible(false) {
+		t.Fatal("hub-root triangle should be edge-parallel eligible")
+	}
+	want := cfg.Count(g, core.RunOptions{Workers: 1, EdgeParallel: core.EdgeParallelOff})
+
+	base := Options{Nodes: nodes, WorkersPerNode: 1, ChunkSize: 64}
+
+	vopt := base
+	vopt.EdgeParallel = core.EdgeParallelOff
+	vres, err := Run(cfg, g, vopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vres.EdgeParallel {
+		t.Fatal("EdgeParallelOff ran slot tasks")
+	}
+	if vres.Count != want {
+		t.Fatalf("vertex-range count = %d, want %d", vres.Count, want)
+	}
+
+	eres, err := Run(cfg, g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eres.EdgeParallel {
+		t.Fatal("auto mode should pack slot tasks for an eligible schedule")
+	}
+	if eres.Count != want {
+		t.Fatalf("edge-parallel count = %d, want %d", eres.Count, want)
+	}
+
+	sopt := base
+	sopt.NodeDelay = 200 * time.Microsecond
+	sopt.DelayedNode = 1
+	sres, err := Run(cfg, g, sopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sres.Count != want {
+		t.Fatalf("straggler edge-parallel count = %d, want %d", sres.Count, want)
+	}
+
+	vShare, eShare, sShare := vres.MaxBusyShare(), eres.MaxBusyShare(), sres.MaxBusyShare()
+	t.Logf("max busy share: vertex %.3f (%d tasks), edge %.3f (%d tasks), edge+straggler %.3f",
+		vShare, vres.Tasks, eShare, eres.Tasks, sShare)
+	if vShare < 0.6 {
+		t.Errorf("vertex-range tasks should serialize on the hub: max busy share %.3f", vShare)
+	}
+	bound := 2.0 / nodes
+	if eShare >= bound {
+		t.Errorf("edge-parallel max busy share %.3f, want < %.3f", eShare, bound)
+	}
+	if sShare >= bound {
+		t.Errorf("edge-parallel max busy share with straggler %.3f, want < %.3f", sShare, bound)
+	}
+}
+
+// TestClusterHybridEquivalence pins cluster.Run to the single-node engine
+// across {1, N} nodes x {vertex, edge}-parallel x {plain, IEP} on both the
+// original and the Optimize()d (reordered + hub bitmaps) view of the graph.
+func TestClusterHybridEquivalence(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 5, 99)
+	og := g.Reorder()
+	og.BuildHubBitmaps(1 << 22)
+	if og.NumHubs() == 0 {
+		t.Fatal("fixture should have hub bitmaps")
+	}
+	pats := []*pattern.Pattern{
+		pattern.Triangle(), pattern.Rectangle(), pattern.House(), pattern.Cycle6Tri(),
+	}
+	for _, p := range pats {
+		cfg := planFor(t, g, p)
+		want := cfg.Count(g, core.RunOptions{Workers: 1})
+		for gi, dg := range []*graph.Graph{g, og} {
+			for _, useIEP := range []bool{false, true} {
+				for _, nodes := range []int{1, 3} {
+					for _, mode := range []core.EdgeParallelMode{core.EdgeParallelOff, core.EdgeParallelOn} {
+						res, err := Run(cfg, dg, Options{
+							Nodes: nodes, WorkersPerNode: 2,
+							UseIEP: useIEP, EdgeParallel: mode,
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if res.Count != want {
+							t.Errorf("%s optimized=%v iep=%v nodes=%d mode=%d: count = %d, want %d",
+								p.Name(), gi == 1, useIEP, nodes, mode, res.Count, want)
+						}
+					}
+				}
+			}
+		}
 	}
 }
 

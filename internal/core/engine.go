@@ -54,36 +54,30 @@ func (o RunOptions) chunk(n, workers int) int {
 	}
 	// Aim for ~64 tasks per worker so stealing/self-scheduling can smooth
 	// out skewed vertices, without degenerating to per-vertex dispatch.
-	c := n / (workers * 64)
-	if c < 1 {
-		c = 1
-	}
-	if c > 1024 {
-		c = 1024
-	}
-	return c
+	return taskpool.AdaptiveChunk(n, workers, 64, 1, 1024)
 }
 
 // edgeChunk sizes edge-parallel tasks: ~64 per worker, floored so the
-// scheduling cursor is not hammered, capped so skew still spreads.
+// scheduling cursor is not hammered, capped so skew still spreads. An
+// explicit ChunkSize stays in vertex units and is scaled by the average
+// degree, so one option tunes both disciplines comparably.
 func (o RunOptions) edgeChunk(m, nv, workers int) int {
 	if o.ChunkSize > 0 {
-		avg := 1
-		if nv > 0 {
-			if avg = m / nv; avg < 1 {
-				avg = 1
-			}
-		}
-		return o.ChunkSize * avg
+		return o.ChunkSize * avgSlotsPerVertex(m, nv)
 	}
-	c := m / (workers * 64)
-	if c < 16 {
-		c = 16
+	return taskpool.AdaptiveChunk(m, workers, 64, 16, 65536)
+}
+
+// avgSlotsPerVertex returns the mean directed degree (>= 1), the factor that
+// converts a vertex-unit chunk size into an equivalent slot-unit one.
+func avgSlotsPerVertex(m, nv int) int {
+	if nv <= 0 {
+		return 1
 	}
-	if c > 65536 {
-		c = 65536
+	if avg := m / nv; avg > 1 {
+		return avg
 	}
-	return c
+	return 1
 }
 
 // Count returns the number of embeddings of the configuration's pattern by

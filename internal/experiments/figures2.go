@@ -264,6 +264,14 @@ type Fig12Point struct {
 	Speedup        float64 // vs the 1-node run of the same pattern
 	Count          int64
 	Steals         int64
+	// Tasks is the number of tasks the master created.
+	Tasks int
+	// EdgeParallel reports whether the master packed edge-slot tasks; the
+	// planner's auto mode enables them for every eligible schedule.
+	EdgeParallel bool
+	// MaxBusyShare is the largest per-node fraction of total busy time
+	// (ideal is 1/Nodes) — the load-balance evidence behind the curve.
+	MaxBusyShare float64
 }
 
 // Fig12Result reproduces Figure 12.
@@ -320,6 +328,8 @@ func Fig12(opt Options, nodeCounts []int) (*Fig12Result, error) {
 				res.Points = append(res.Points, Fig12Point{
 					Graph: gname, Pattern: p.Name(), Nodes: nodes,
 					Seconds: secs, Speedup: sp, Count: cres.Count, Steals: steals,
+					Tasks: cres.Tasks, EdgeParallel: cres.EdgeParallel,
+					MaxBusyShare: cres.MaxBusyShare(),
 				})
 			}
 		}
@@ -336,10 +346,15 @@ func Fig12(opt Options, nodeCounts []int) (*Fig12Result, error) {
 
 func (r *Fig12Result) Report(w io.Writer) {
 	writeHeader(w, "Figure 12: scalability of the simulated distributed runtime")
-	fmt.Fprintf(w, "%-12s %-12s %7s %12s %9s %8s\n",
-		"Graph", "Pattern", "Nodes", "Time", "Speedup", "Steals")
+	fmt.Fprintf(w, "%-12s %-12s %7s %12s %9s %8s %7s %6s %9s\n",
+		"Graph", "Pattern", "Nodes", "Time", "Speedup", "Steals", "Tasks", "Shape", "MaxBusy")
 	for _, pt := range r.Points {
-		fmt.Fprintf(w, "%-12s %-12s %7d %11.3fs %8.2fx %8d\n",
-			pt.Graph, pt.Pattern, pt.Nodes, pt.Seconds, pt.Speedup, pt.Steals)
+		shape := "vert"
+		if pt.EdgeParallel {
+			shape = "edge"
+		}
+		fmt.Fprintf(w, "%-12s %-12s %7d %11.3fs %8.2fx %8d %7d %6s %8.2f%%\n",
+			pt.Graph, pt.Pattern, pt.Nodes, pt.Seconds, pt.Speedup, pt.Steals,
+			pt.Tasks, shape, 100*pt.MaxBusyShare)
 	}
 }

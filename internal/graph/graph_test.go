@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"encoding/binary"
+	"io"
 	"math/rand/v2"
 	"strings"
 	"testing"
@@ -270,6 +272,119 @@ func TestBinaryRoundTrip(t *testing.T) {
 	}
 	if !equalGraphs(g, g2) {
 		t.Error("binary round trip changed the graph")
+	}
+}
+
+// TestBinaryRoundTripOptimized checks that the GPiCSR2 snapshot persists the
+// hybrid view: dataset name, reorder maps, and a rebuilt hub set of the same
+// size — so Optimize cost is paid once per dataset.
+func TestBinaryRoundTripOptimized(t *testing.T) {
+	g := BarabasiAlbert(500, 6, 21)
+	g.SetName("ba-fixture")
+	og := g.Reorder()
+	og.BuildHubBitmaps(1 << 20)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, og); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(og, g2) {
+		t.Error("round trip changed the CSR arrays")
+	}
+	if g2.Name() != "ba-fixture" {
+		t.Errorf("name = %q, want %q", g2.Name(), "ba-fixture")
+	}
+	if !g2.IsReordered() {
+		t.Fatal("round trip dropped the reorder map")
+	}
+	for v := range og.NewToOld() {
+		if og.NewToOld()[v] != g2.NewToOld()[v] {
+			t.Fatalf("newToOld[%d] = %d, want %d", v, g2.NewToOld()[v], og.NewToOld()[v])
+		}
+		if og.OldToNew()[v] != g2.OldToNew()[v] {
+			t.Fatalf("oldToNew[%d] = %d, want %d", v, g2.OldToNew()[v], og.OldToNew()[v])
+		}
+	}
+	if og.NumHubs() == 0 {
+		t.Fatal("fixture should have hubs")
+	}
+	if g2.NumHubs() != og.NumHubs() {
+		t.Errorf("rebuilt hubs = %d, want %d", g2.NumHubs(), og.NumHubs())
+	}
+	for v := 0; v < og.NumVertices(); v++ {
+		want, got := og.HubBitmap(uint32(v)) != nil, g2.HubBitmap(uint32(v)) != nil
+		if want != got {
+			t.Fatalf("hub bitmap presence differs at %d: %v vs %v", v, want, got)
+		}
+	}
+}
+
+// TestBinaryRoundTripEmpty pins the empty-graph fix: the format always
+// carries the n+1 offsets array, so a zero-value Graph (nil offsets) and a
+// built 0-vertex graph both survive write→read.
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	built, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, g := range map[string]*Graph{"zero-value": {}, "built": built} {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("%s: write: %v", name, err)
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("%s: read: %v", name, err)
+		}
+		if g2.NumVertices() != 0 || g2.NumEdges() != 0 {
+			t.Errorf("%s: round trip produced |V|=%d |E|=%d", name, g2.NumVertices(), g2.NumEdges())
+		}
+	}
+}
+
+// writeBinaryV1 reproduces the previous release's writer byte-for-byte so
+// the compatibility path stays pinned even though the code now writes v2.
+func writeBinaryV1(w io.Writer, g *Graph) error {
+	if _, err := w.Write([]byte("GPiCSR1\n")); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, int64(g.NumVertices())); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, g.offsets); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, g.adj)
+}
+
+func TestBinaryReadsV1Snapshots(t *testing.T) {
+	g := BarabasiAlbert(150, 4, 7)
+	var buf bytes.Buffer
+	if err := writeBinaryV1(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(g, g2) {
+		t.Error("v1 snapshot round trip changed the graph")
+	}
+	// The old writer emitted no offsets array for a zero-value graph; the
+	// reader must tolerate that layout too.
+	buf.Reset()
+	if err := writeBinaryV1(&buf, &Graph{}); err != nil {
+		t.Fatal(err)
+	}
+	g2, err = ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("empty v1 snapshot: %v", err)
+	}
+	if g2.NumVertices() != 0 {
+		t.Errorf("empty v1 snapshot gave |V|=%d", g2.NumVertices())
 	}
 }
 

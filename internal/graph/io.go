@@ -84,19 +84,72 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-const binaryMagic = "GPiCSR1\n"
+// Binary snapshot versions. GPiCSR1 (the previous release) stores only the
+// raw CSR arrays; GPiCSR2 adds the dataset name, the degree-ordered reorder
+// map of an Optimize()d graph (so a reloaded graph's Enumerate still reports
+// original vertex ids) and the hub-bitmap budget. Hub bitmaps themselves are
+// rebuilt on load, not stored: they are cheap to reconstruct and their packed
+// form would dominate the file. WriteBinary always emits GPiCSR2; ReadBinary
+// accepts both.
+const (
+	binaryMagicV1 = "GPiCSR1\n"
+	binaryMagic   = "GPiCSR2\n"
 
-// WriteBinary writes the CSR arrays in a little-endian binary snapshot.
+	// maxSnapshotName bounds the stored dataset-name length so a corrupt
+	// header cannot drive a huge allocation.
+	maxSnapshotName = 1 << 16
+)
+
+// WriteBinary writes the graph in the little-endian GPiCSR2 snapshot layout:
+//
+//	magic "GPiCSR2\n"
+//	n        int64            vertex count
+//	nameLen  int64            + nameLen bytes of dataset name
+//	mapLen   int64            0, or n for a reordered graph
+//	newToOld [mapLen]uint32   new→old id map (old→new is reconstructed)
+//	hubBytes int64            hub-bitmap memory to rebuild on load (0 = none)
+//	offsets  [n+1]int64       always present, even for n = 0
+//	adj      [offsets[n]]uint32
 func WriteBinary(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return err
 	}
 	n := int64(g.NumVertices())
-	if err := binary.Write(bw, binary.LittleEndian, n); err != nil {
+	name := g.name
+	if len(name) > maxSnapshotName {
+		name = name[:maxSnapshotName]
+	}
+	for _, v := range []int64{n, int64(len(name))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(name); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, g.offsets); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(g.newToOld))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.newToOld); err != nil {
+		return err
+	}
+	var hubBytes int64
+	if g.numHubs > 0 {
+		// HubMemoryBytes is exactly the budget BuildHubBitmaps needs to
+		// reproduce the same hub count on load.
+		hubBytes = g.HubMemoryBytes()
+	}
+	if err := binary.Write(bw, binary.LittleEndian, hubBytes); err != nil {
+		return err
+	}
+	offsets := g.offsets
+	if offsets == nil {
+		// The zero-value Graph has nil offsets; the format always carries
+		// the n+1 offsets array so readers never hit EOF on empty graphs.
+		offsets = []int64{0}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, offsets); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.LittleEndian, g.adj); err != nil {
@@ -105,40 +158,132 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a snapshot produced by WriteBinary and validates its
-// structural invariants before returning.
+// ReadBinary reads a snapshot produced by WriteBinary (GPiCSR2) or by the
+// previous release (GPiCSR1) and validates its structural invariants before
+// returning. Reordered GPiCSR2 graphs come back with their id maps intact
+// and their hub bitmaps rebuilt under the stored budget.
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("graph: reading binary header: %w", err)
 	}
-	if string(magic) != binaryMagic {
+	switch string(magic) {
+	case binaryMagicV1:
+		return readBinaryV1(br)
+	case binaryMagic:
+		return readBinaryV2(br)
+	default:
 		return nil, fmt.Errorf("graph: bad magic %q", magic)
 	}
-	var n int64
-	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, fmt.Errorf("graph: reading vertex count: %w", err)
-	}
-	if n < 0 || n > MaxVertices {
-		return nil, fmt.Errorf("graph: invalid vertex count %d", n)
+}
+
+// readBinaryV1 reads the legacy layout: n, offsets, adj. The old writer
+// emitted zero offset words for a zero-value graph (nil offsets), so n = 0
+// tolerates a missing offsets array.
+func readBinaryV1(br *bufio.Reader) (*Graph, error) {
+	n, err := readCount(br)
+	if err != nil {
+		return nil, err
 	}
 	g := &Graph{offsets: make([]int64, n+1)}
 	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+		if n == 0 && err == io.EOF {
+			return &Graph{}, nil
+		}
 		return nil, fmt.Errorf("graph: reading offsets: %w", err)
 	}
+	if err := readAdjacency(br, g, n); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func readBinaryV2(br *bufio.Reader) (*Graph, error) {
+	n, err := readCount(br)
+	if err != nil {
+		return nil, err
+	}
+	var nameLen int64
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, fmt.Errorf("graph: reading name length: %w", err)
+	}
+	if nameLen < 0 || nameLen > maxSnapshotName {
+		return nil, fmt.Errorf("graph: invalid name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("graph: reading name: %w", err)
+	}
+	var mapLen int64
+	if err := binary.Read(br, binary.LittleEndian, &mapLen); err != nil {
+		return nil, fmt.Errorf("graph: reading reorder map length: %w", err)
+	}
+	if mapLen != 0 && mapLen != n {
+		return nil, fmt.Errorf("graph: reorder map length %d for %d vertices", mapLen, n)
+	}
+	g := &Graph{name: string(name)}
+	if mapLen > 0 {
+		g.newToOld = make([]uint32, mapLen)
+		if err := binary.Read(br, binary.LittleEndian, g.newToOld); err != nil {
+			return nil, fmt.Errorf("graph: reading reorder map: %w", err)
+		}
+		g.oldToNew = make([]uint32, mapLen)
+		seen := make([]bool, mapLen)
+		for newV, oldV := range g.newToOld {
+			if int64(oldV) >= mapLen || seen[oldV] {
+				return nil, fmt.Errorf("graph: reorder map is not a permutation at %d", newV)
+			}
+			seen[oldV] = true
+			g.oldToNew[oldV] = uint32(newV)
+		}
+	}
+	var hubBytes int64
+	if err := binary.Read(br, binary.LittleEndian, &hubBytes); err != nil {
+		return nil, fmt.Errorf("graph: reading hub budget: %w", err)
+	}
+	if hubBytes < 0 {
+		return nil, fmt.Errorf("graph: negative hub budget %d", hubBytes)
+	}
+	g.offsets = make([]int64, n+1)
+	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
+		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	}
+	if err := readAdjacency(br, g, n); err != nil {
+		return nil, err
+	}
+	if hubBytes > 0 {
+		g.BuildHubBitmaps(hubBytes)
+	}
+	return g, nil
+}
+
+func readCount(br *bufio.Reader) (int64, error) {
+	var n int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return 0, fmt.Errorf("graph: reading vertex count: %w", err)
+	}
+	if n < 0 || n > MaxVertices {
+		return 0, fmt.Errorf("graph: invalid vertex count %d", n)
+	}
+	return n, nil
+}
+
+// readAdjacency reads the adjacency array sized by the already-read offsets
+// and validates the CSR invariants.
+func readAdjacency(br *bufio.Reader, g *Graph, n int64) error {
 	total := g.offsets[n]
 	if total < 0 {
-		return nil, fmt.Errorf("graph: negative adjacency length %d", total)
+		return fmt.Errorf("graph: negative adjacency length %d", total)
 	}
 	g.adj = make([]uint32, total)
 	if err := binary.Read(br, binary.LittleEndian, g.adj); err != nil {
-		return nil, fmt.Errorf("graph: reading adjacency: %w", err)
+		return fmt.Errorf("graph: reading adjacency: %w", err)
 	}
 	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("graph: corrupt snapshot: %w", err)
+		return fmt.Errorf("graph: corrupt snapshot: %w", err)
 	}
-	return g, nil
+	return nil
 }
 
 // SaveBinaryFile writes the graph snapshot to path.

@@ -198,6 +198,32 @@ func SplitEven(n, parts int) []Range {
 	return out
 }
 
+// AdaptiveChunk sizes tasks over n work items for the given worker count:
+// it targets perWorker tasks per worker (so stealing and self-scheduling can
+// smooth out power-law skew) and clamps the result to [minChunk, maxChunk]
+// (maxChunk < 1 means uncapped). Both the single-node engine (vertex and
+// edge-slot roots) and the simulated cluster derive their default task
+// granularity from this one formula, so the two runtimes stay comparable.
+func AdaptiveChunk(n, workers, perWorker, minChunk, maxChunk int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	c := n / (workers * perWorker)
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	if c < minChunk {
+		c = minChunk
+	}
+	if maxChunk >= 1 && c > maxChunk {
+		c = maxChunk
+	}
+	return c
+}
+
 // SplitChunks cuts [0, n) into contiguous ranges of the given size.
 func SplitChunks(n, chunk int) []Range {
 	if n <= 0 {
