@@ -1,0 +1,140 @@
+// Command clusterbench measures the cluster layer's transport overhead:
+// the same counting jobs (house and pentagon on a skewed Barabási–Albert
+// graph) run single-node, on the in-process channel transport, and across
+// loopback TCP workers, and the results land in a JSON report so CI can
+// track the perf trajectory across PRs.
+//
+// Run with:
+//
+//	go run ./cmd/clusterbench -out BENCH_pr3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"graphpi"
+)
+
+type result struct {
+	Pattern      string  `json:"pattern"`
+	Transport    string  `json:"transport"` // single | channel | tcp
+	Nodes        int     `json:"nodes"`
+	WorkersPer   int     `json:"workers_per_node"`
+	Count        int64   `json:"count"`
+	Seconds      float64 `json:"seconds"`
+	Tasks        int     `json:"tasks,omitempty"`
+	Steals       int64   `json:"steals,omitempty"`
+	MaxBusyShare float64 `json:"max_busy_share,omitempty"`
+}
+
+type report struct {
+	Bench     string    `json:"bench"`
+	Graph     string    `json:"graph"`
+	Vertices  int       `json:"vertices"`
+	Edges     int64     `json:"edges"`
+	GoMaxProc int       `json:"gomaxprocs"`
+	When      time.Time `json:"when"`
+	// TCPOverhead maps pattern → tcp_seconds/channel_seconds − 1; the
+	// number this benchmark exists to watch.
+	TCPOverhead map[string]float64 `json:"tcp_overhead"`
+	Results     []result           `json:"results"`
+}
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_pr3.json", "output JSON path")
+		n     = flag.Int("n", 20000, "BA graph vertices")
+		m     = flag.Int("m", 5, "BA edges per vertex")
+		nodes = flag.Int("nodes", 3, "cluster nodes / TCP workers")
+		wpn   = flag.Int("node-workers", 2, "workers per node")
+	)
+	flag.Parse()
+
+	g := graphpi.GenerateBA(*n, *m, 4242)
+	rep := report{
+		Bench:       "pr3-cluster-transport",
+		Graph:       fmt.Sprintf("BA(n=%d, m=%d, seed=4242)", *n, *m),
+		Vertices:    g.NumVertices(),
+		Edges:       g.NumEdges(),
+		GoMaxProc:   runtime.GOMAXPROCS(0),
+		When:        time.Now().UTC(),
+		TCPOverhead: map[string]float64{},
+	}
+	fmt.Printf("graph: %s\n", g.StatsString())
+
+	var addrs []string
+	for i := 0; i < *nodes; i++ {
+		srv, err := graphpi.ServeCluster("127.0.0.1:0", g, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	cl, err := graphpi.ConnectCluster(addrs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	patterns := map[string]*graphpi.Pattern{
+		"house":    graphpi.House(),
+		"pentagon": graphpi.Pentagon(),
+	}
+	copt := graphpi.ClusterOptions{Nodes: *nodes, WorkersPerNode: *wpn, UseIEP: true}
+	for name, p := range patterns {
+		// Single-process baseline.
+		start := time.Now()
+		single, err := graphpi.Count(g, p, graphpi.WithWorkers(*nodes**wpn))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Results = append(rep.Results, result{
+			Pattern: name, Transport: "single", Nodes: 1, WorkersPer: *nodes * *wpn,
+			Count: single, Seconds: time.Since(start).Seconds(),
+		})
+
+		var secs = map[string]float64{}
+		for _, transport := range []string{"channel", "tcp"} {
+			var (
+				res *graphpi.ClusterResult
+				err error
+			)
+			if transport == "channel" {
+				res, err = graphpi.ClusterCount(g, p, copt)
+			} else {
+				res, err = cl.Count(g, p, copt)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Count != single {
+				log.Fatalf("%s/%s: count %d != single-node %d", name, transport, res.Count, single)
+			}
+			secs[transport] = res.Elapsed.Seconds()
+			rep.Results = append(rep.Results, result{
+				Pattern: name, Transport: transport, Nodes: *nodes, WorkersPer: *wpn,
+				Count: res.Count, Seconds: res.Elapsed.Seconds(),
+				Tasks: res.Tasks, Steals: res.Steals, MaxBusyShare: res.MaxBusyShare(),
+			})
+			fmt.Printf("%-8s %-7s count=%d time=%.3fs tasks=%d steals=%d share=%.2f\n",
+				name, transport, res.Count, res.Elapsed.Seconds(), res.Tasks, res.Steals, res.MaxBusyShare())
+		}
+		rep.TCPOverhead[name] = secs["tcp"]/secs["channel"] - 1
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (tcp overhead: %+v)\n", *out, rep.TCPOverhead)
+}

@@ -7,6 +7,13 @@
 //	graphpi -graph data.bin -pattern-adj 5:0110110011... -list -limit 10
 //	graphpi -dataset Orkut-S -pattern house -iep -nodes 4 -node-workers 2
 //
+// Distributed mode runs the same jobs across TCP worker processes that each
+// hold a replica of the data graph (share a GPiCSR2 snapshot):
+//
+//	graphpi -graph data.bin -serve :9421                 # on each worker
+//	graphpi -graph data.bin -pattern house -iep \
+//	        -join host1:9421,host2:9421                  # on the master
+//
 // Patterns can be named (triangle, rectangle, pentagon, house, cycle6tri,
 // p1..p6, k4..k7) or given as an n:adjacency-matrix string. The tool prints
 // the chosen configuration (schedule + restrictions), the preprocessing
@@ -16,6 +23,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -34,31 +43,48 @@ func main() {
 		useIEP      = flag.Bool("iep", false, "count with the Inclusion-Exclusion Principle")
 		list        = flag.Bool("list", false, "list embeddings instead of counting")
 		limit       = flag.Int64("limit", 20, "max embeddings to list with -list")
-		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS; with -serve, 0 = honor the master)")
 		hybrid      = flag.Bool("hybrid", false, "run on the degree-ordered, bitmap-accelerated hybrid adjacency view")
 		hubBudget   = flag.Int64("hub-budget", 0, "hub bitmap memory budget in bytes with -hybrid (0 = 64 MiB default)")
+		hubFloor    = flag.Int("hub-floor", 0, "minimum degree for a hub bitmap with -hybrid (0 = default 64)")
 		baseline    = flag.Bool("graphzero", false, "plan like the GraphZero baseline")
 		edgePar     = flag.String("edge-parallel", "auto", "root task shape: auto, on, or off")
 		nodes       = flag.Int("nodes", 0, "count on a simulated cluster with this many nodes (0 = single process)")
 		nodeWorkers = flag.Int("node-workers", 2, "worker goroutines per simulated node with -nodes")
+		serveAddr   = flag.String("serve", "", "run as a cluster worker process listening on this address (e.g. :9421)")
+		joinAddrs   = flag.String("join", "", "count across these comma-separated cluster worker addresses")
 		emitGo      = flag.String("emit-go", "", "write standalone Go source for the planned configuration to this path and exit")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*graphPath, *datasetName, *scale)
+	if err := validateFlags(*nodes, *nodeWorkers, *hubFloor, *serveAddr, *joinAddrs); err != nil {
+		fail(err)
+	}
+	workerAddrs, err := parseJoinList(*joinAddrs)
 	if err != nil {
 		fail(err)
 	}
-	p, err := loadPattern(*patName, *patAdj)
+
+	g, err := loadGraph(*graphPath, *datasetName, *scale)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Printf("graph: %s (%s)\n", g.Name(), g.StatsString())
 	if *hybrid {
 		prep := time.Now()
-		g = g.Optimize(*hubBudget)
+		g = g.OptimizeHubs(*hubBudget, *hubFloor)
 		fmt.Printf("hybrid view: degree-ordered, bitmaps built in %v\n",
 			time.Since(prep).Round(time.Microsecond))
+	}
+
+	if *serveAddr != "" {
+		runServe(*serveAddr, g, *workers)
+		return
+	}
+
+	p, err := loadPattern(*patName, *patAdj)
+	if err != nil {
+		fail(err)
 	}
 	fmt.Printf("pattern: %s\n", p)
 
@@ -75,14 +101,14 @@ func main() {
 	default:
 		fail(fmt.Errorf("-edge-parallel must be auto, on or off, got %q", *edgePar))
 	}
-	if *nodes > 0 {
+	if *nodes > 0 || len(workerAddrs) > 0 {
 		if *list || *emitGo != "" {
-			fail(fmt.Errorf("-nodes counts only; it cannot be combined with -list or -emit-go"))
+			fail(fmt.Errorf("cluster modes count only; they cannot be combined with -list or -emit-go"))
 		}
 		if *workers != 0 {
-			fmt.Fprintln(os.Stderr, "graphpi: -workers is ignored with -nodes; use -node-workers")
+			fmt.Fprintln(os.Stderr, "graphpi: -workers is ignored in cluster modes; use -node-workers")
 		}
-		runCluster(g, p, *nodes, *nodeWorkers, *useIEP, opts)
+		runCluster(g, p, *nodes, *nodeWorkers, *useIEP, workerAddrs, opts)
 		return
 	}
 	plan, err := graphpi.NewPlan(g, p, opts...)
@@ -123,13 +149,77 @@ func main() {
 	}
 }
 
-// runCluster counts on the simulated multi-node runtime and reports the
-// per-node load balance (tasks, busy time) alongside the count.
-func runCluster(g *graphpi.Graph, p *graphpi.Pattern, nodes, workersPerNode int, useIEP bool, opts []graphpi.Option) {
+// validateFlags rejects unusable combinations up front, instead of panicking
+// later or silently normalizing a value the user explicitly set.
+func validateFlags(nodes, nodeWorkers, hubFloor int, serveAddr, joinAddrs string) error {
+	if nodes < 0 {
+		return fmt.Errorf("-nodes must be >= 1 (or omitted for a single process), got %d", nodes)
+	}
+	if nodes > 0 && nodeWorkers < 1 {
+		return fmt.Errorf("-node-workers must be >= 1, got %d", nodeWorkers)
+	}
+	if hubFloor < 0 {
+		return fmt.Errorf("-hub-floor must be >= 0, got %d", hubFloor)
+	}
+	if serveAddr != "" && joinAddrs != "" {
+		return fmt.Errorf("-serve and -join are mutually exclusive: a process is a worker or a master")
+	}
+	if serveAddr != "" {
+		if _, _, err := net.SplitHostPort(serveAddr); err != nil {
+			return fmt.Errorf("-serve address %q is not host:port: %v", serveAddr, err)
+		}
+	}
+	if joinAddrs != "" && nodes > 0 {
+		return fmt.Errorf("-nodes and -join are mutually exclusive: with -join the node count is the worker list")
+	}
+	return nil
+}
+
+// parseJoinList splits and validates the -join address list.
+func parseJoinList(joinAddrs string) ([]string, error) {
+	if joinAddrs == "" {
+		return nil, nil
+	}
+	var out []string
+	for _, part := range strings.Split(joinAddrs, ",") {
+		addr := strings.TrimSpace(part)
+		if addr == "" {
+			return nil, fmt.Errorf("-join list %q contains an empty address", joinAddrs)
+		}
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("-join address %q is not host:port: %v", addr, err)
+		}
+		if host == "" || port == "" {
+			return nil, fmt.Errorf("-join address %q needs both host and port", addr)
+		}
+		out = append(out, addr)
+	}
+	return out, nil
+}
+
+// runServe turns this process into a cluster worker: it blocks serving
+// counting jobs against the loaded graph until killed.
+func runServe(addr string, g *graphpi.Graph, workerOverride int) {
+	srv, err := graphpi.ServeCluster(addr, g, workerOverride)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("cluster worker: serving %s on %s (Ctrl-C to stop)\n", g.Name(), srv.Addr())
+	if err := srv.Wait(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// runCluster counts on the multi-node runtime — in-process simulated nodes,
+// or TCP workers when addrs is non-empty — and reports the per-node load
+// balance (tasks, busy time) alongside the count.
+func runCluster(g *graphpi.Graph, p *graphpi.Pattern, nodes, workersPerNode int, useIEP bool, addrs []string, opts []graphpi.Option) {
 	res, err := graphpi.ClusterCount(g, p, graphpi.ClusterOptions{
 		Nodes:          nodes,
 		WorkersPerNode: workersPerNode,
 		UseIEP:         useIEP,
+		Workers:        addrs,
 	}, opts...)
 	if err != nil {
 		fail(err)
@@ -138,15 +228,19 @@ func runCluster(g *graphpi.Graph, p *graphpi.Pattern, nodes, workersPerNode int,
 	if res.EdgeParallel {
 		shape = "edge slots"
 	}
-	fmt.Printf("cluster: %d nodes x %d workers, %d tasks (%s), %d steals\n",
-		nodes, workersPerNode, res.Tasks, shape, res.Steals)
+	where := fmt.Sprintf("%d nodes", len(res.TasksPerNode))
+	if len(addrs) > 0 {
+		where = fmt.Sprintf("%d TCP workers", len(addrs))
+	}
+	fmt.Printf("cluster: %s x %d workers, %d tasks (%s), %d steals\n",
+		where, workersPerNode, res.Tasks, shape, res.Steals)
 	for i := range res.TasksPerNode {
 		fmt.Printf("  node %d: %5d tasks, busy %v\n",
 			i, res.TasksPerNode[i], res.BusyPerNode[i].Round(time.Microsecond))
 	}
 	fmt.Printf("count: %d in %v (max busy share %.2f, ideal %.2f)\n",
 		res.Count, res.Elapsed.Round(time.Millisecond),
-		res.MaxBusyShare(), 1/float64(nodes))
+		res.MaxBusyShare(), 1/float64(len(res.TasksPerNode)))
 }
 
 func loadGraph(path, ds string, scale float64) (*graphpi.Graph, error) {

@@ -30,6 +30,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strings"
 	"time"
@@ -80,10 +81,20 @@ func (g *Graph) StatsString() string { return g.g.Stats().String() }
 // (<= 0 → a 64 MiB default), so hub intersections cost O(|small side|).
 // Plans run against the optimized view typically count 1.5-2x faster on
 // power-law graphs; Enumerate still reports original vertex ids. The
-// original graph is not modified.
+// original graph is not modified. Vertices only become hubs above a degree
+// floor of 64; use OptimizeHubs to tune it.
 func (g *Graph) Optimize(hubMemBudgetBytes int64) *Graph {
+	return g.OptimizeHubs(hubMemBudgetBytes, 0)
+}
+
+// OptimizeHubs is Optimize with an explicit hub degree floor: only vertices
+// with degree >= hubDegreeFloor are eligible for an adjacency bitset
+// (<= 0 → the default floor of 64). Lowering the floor trades budget for
+// coverage on flatter degree distributions; snapshots of the view persist
+// the budget but rebuild with the default floor on load.
+func (g *Graph) OptimizeHubs(hubMemBudgetBytes int64, hubDegreeFloor int) *Graph {
 	og := g.g.Reorder()
-	og.BuildHubBitmaps(hubMemBudgetBytes)
+	og.BuildHubBitmaps(hubMemBudgetBytes, hubDegreeFloor)
 	return &Graph{g: og}
 }
 
@@ -392,9 +403,11 @@ func (m EdgeParallelMode) core() core.EdgeParallelMode {
 	}
 }
 
-// ClusterOptions configures a simulated distributed run (paper §IV-E).
+// ClusterOptions configures a distributed run (paper §IV-E).
 type ClusterOptions struct {
-	// Nodes is the number of simulated compute nodes (MPI ranks).
+	// Nodes is the number of compute nodes (MPI ranks). Ignored when the
+	// run targets TCP workers (Workers below, or a Cluster handle): the
+	// rank count is then the connected worker set.
 	Nodes int
 	// WorkersPerNode is the number of worker goroutines per node.
 	WorkersPerNode int
@@ -411,6 +424,13 @@ type ClusterOptions struct {
 	// (< 1 → adaptive; WithChunkSize applies when this is unset). Under
 	// edge-parallel scheduling the value is scaled by the average degree.
 	ChunkSize int
+	// Workers lists TCP worker addresses (cluster.Serve / ServeCluster
+	// listeners, or `graphpi -serve`). When non-empty, ClusterCount dials
+	// them for the run instead of simulating nodes in-process; every
+	// worker must hold a replica of the same graph (typically loaded from
+	// a shared GPiCSR2 snapshot). For repeated counts against the same
+	// workers, dial once with ConnectCluster instead.
+	Workers []string
 }
 
 // ClusterResult reports a simulated distributed run.
@@ -478,12 +498,28 @@ func CountLabeled(g *Graph, vertexLabels []VertexLabel, p *Pattern, patternLabel
 	})
 }
 
-// ClusterCount plans and counts on a simulated cluster with per-node task
-// queues and cross-node work stealing. Plan options apply: WithChunkSize
+// ClusterCount plans and counts on a cluster with per-node task queues and
+// cross-node work stealing. By default the nodes are simulated in-process;
+// set ClusterOptions.Workers (or use a ConnectCluster handle) to run the
+// same job across TCP worker processes. Plan options apply: WithChunkSize
 // sets the task granularity (unless ClusterOptions.ChunkSize overrides it)
 // and WithEdgeParallelRoots forces the task shape when
 // ClusterOptions.EdgeParallel is left Auto.
 func ClusterCount(g *Graph, p *Pattern, copt ClusterOptions, opts ...Option) (*ClusterResult, error) {
+	if len(copt.Workers) > 0 {
+		c, err := ConnectCluster(copt.Workers...)
+		if err != nil {
+			return nil, err
+		}
+		defer c.Close()
+		return c.Count(g, p, copt, opts...)
+	}
+	return clusterCount(nil, g, p, copt, opts...)
+}
+
+// clusterCount runs one job on the given transport (nil → the in-process
+// channel simulation).
+func clusterCount(tr cluster.Transport, g *Graph, p *Pattern, copt ClusterOptions, opts ...Option) (*ClusterResult, error) {
 	pl, err := NewPlan(g, p, opts...)
 	if err != nil {
 		return nil, err
@@ -503,6 +539,7 @@ func ClusterCount(g *Graph, p *Pattern, copt ClusterOptions, opts ...Option) (*C
 		EdgeParallel:   edgePar,
 		StealThreshold: copt.StealThreshold,
 		ChunkSize:      chunk,
+		Transport:      tr,
 	})
 	if err != nil {
 		return nil, err
@@ -520,3 +557,74 @@ func ClusterCount(g *Graph, p *Pattern, copt ClusterOptions, opts ...Option) (*C
 	}
 	return out, nil
 }
+
+// Cluster is a handle to a set of TCP-connected worker processes
+// (cluster.Serve listeners). It can run many counting jobs; Close releases
+// the connections. A failed job (e.g. a worker disconnect) poisons the
+// handle — dial a fresh one to continue.
+type Cluster struct {
+	tr cluster.Transport
+	n  int
+}
+
+// ConnectCluster dials worker processes at addrs (see ServeCluster and
+// `graphpi -serve`) and returns a handle running jobs across them, one
+// rank per worker. Every worker must hold a replica of the data graph a job
+// uses — typically loaded from a shared GPiCSR2 snapshot — and the graph's
+// fingerprint is verified per job.
+func ConnectCluster(addrs ...string) (*Cluster, error) {
+	tr, err := cluster.DialTCP(addrs, cluster.DialOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{tr: tr, n: len(addrs)}, nil
+}
+
+// Workers returns the number of connected worker processes.
+func (c *Cluster) Workers() int { return c.n }
+
+// Close disconnects from the workers.
+func (c *Cluster) Close() error { return c.tr.Close() }
+
+// Count plans and counts across the connected workers. ClusterOptions.Nodes
+// and ClusterOptions.Workers are ignored — the rank set is this handle's
+// worker set.
+func (c *Cluster) Count(g *Graph, p *Pattern, copt ClusterOptions, opts ...Option) (*ClusterResult, error) {
+	return clusterCount(c.tr, g, p, copt, opts...)
+}
+
+// ClusterServer is a running TCP worker process serving counting jobs
+// against one graph replica (the facade over cluster.Serve).
+type ClusterServer struct {
+	ln   net.Listener
+	done chan error
+}
+
+// ServeCluster starts a worker listening on addr (e.g. ":9421", or
+// "127.0.0.1:0" for an ephemeral test port) that executes counting jobs
+// against g. workersPerJob overrides the per-job worker goroutine count
+// requested by masters (0 → honor the master). The server runs on a
+// background goroutine; use Addr to learn the bound address, Wait to block
+// until shutdown, and Close to stop.
+func ServeCluster(addr string, g *Graph, workersPerJob int) (*ClusterServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &ClusterServer{ln: ln, done: make(chan error, 1)}
+	go func() {
+		s.done <- cluster.Serve(ln, g.g, cluster.ServeOptions{Workers: workersPerJob})
+	}()
+	return s, nil
+}
+
+// Addr returns the listener's address ("host:port").
+func (s *ClusterServer) Addr() string { return s.ln.Addr().String() }
+
+// Wait blocks until the server stops (listener closed) and returns its
+// terminal error, if any.
+func (s *ClusterServer) Wait() error { return <-s.done }
+
+// Close stops accepting masters. Jobs in flight fail their masters'
+// connections.
+func (s *ClusterServer) Close() error { return s.ln.Close() }

@@ -436,3 +436,90 @@ func TestOptimizeFacade(t *testing.T) {
 		t.Fatal("no triangles enumerated")
 	}
 }
+
+// TestTCPClusterFacade exercises the full distributed facade: ServeCluster
+// workers, a ConnectCluster handle running several jobs, the one-shot
+// ClusterOptions.Workers path, and the graph-mismatch guard.
+func TestTCPClusterFacade(t *testing.T) {
+	g := GenerateBA(400, 5, 31)
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, err := ServeCluster("127.0.0.1:0", g, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+
+	p := House()
+	want, err := ClusterCount(g, p, ClusterOptions{Nodes: 2, WorkersPerNode: 2, UseIEP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := ConnectCluster(addrs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", c.Workers())
+	}
+	for _, pat := range []*Pattern{Triangle(), p} {
+		res, err := c.Count(g, pat, ClusterOptions{WorkersPerNode: 2, UseIEP: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := Count(g, pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Count != single {
+			t.Errorf("%s: TCP count = %d, want %d", pat.Name(), res.Count, single)
+		}
+		if len(res.TasksPerNode) != 2 {
+			t.Errorf("%s: %d ranks, want 2", pat.Name(), len(res.TasksPerNode))
+		}
+	}
+
+	// One-shot path: ClusterOptions.Workers dials, counts, disconnects.
+	res, err := ClusterCount(g, p, ClusterOptions{WorkersPerNode: 2, UseIEP: true, Workers: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want.Count {
+		t.Errorf("one-shot TCP count = %d, want %d", res.Count, want.Count)
+	}
+
+	// A different graph must be rejected by the fingerprint check.
+	other := GenerateBA(401, 5, 31)
+	if _, err := c.Count(other, p, ClusterOptions{}); err == nil {
+		t.Error("mismatched graph accepted by TCP workers")
+	}
+}
+
+// TestOptimizeHubsFacade covers the hub degree-floor plumbing: an explicit
+// floor changes hub admission while counts stay exact.
+func TestOptimizeHubsFacade(t *testing.T) {
+	g := GenerateBA(800, 5, 9)
+	if og := g.OptimizeHubs(0, 0); !og.IsOptimized() {
+		t.Fatal("OptimizeHubs(0,0) should behave like Optimize(0)")
+	}
+	low := g.OptimizeHubs(0, 1)
+	high := g.OptimizeHubs(0, 1<<20)
+	p := House()
+	want, err := Count(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, og := range map[string]*Graph{"floor1": low, "floorHuge": high} {
+		got, err := Count(og, p, WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: count = %d, want %d", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"graphpi/internal/taskpool"
+)
+
+// chanTransport is the original in-process fabric: goroutines and channels
+// standing in for MPI ranks and messages. Each rank is a rank struct plus an
+// inbox channel served by a communication goroutine; thieves inspect peer
+// queue lengths directly (shared memory stands in for the paper's queue
+// gossip) and send steal requests to the richest victim's inbox. It remains
+// the default transport and the simulation baseline every remote transport
+// is conformance-tested against.
+type chanTransport struct{}
+
+// NewChanTransport returns the in-process channel transport.
+func NewChanTransport() Transport { return chanTransport{} }
+
+// Ranks grants any requested count: in-process ranks are free.
+func (chanTransport) Ranks(requested int) int {
+	if requested < 1 {
+		return 1
+	}
+	return requested
+}
+
+// TotalWorkers: in-process ranks run exactly what the caller requests.
+func (chanTransport) TotalWorkers(nranks, workersPerRank int) int {
+	return nranks * workersPerRank
+}
+
+func (chanTransport) Close() error { return nil }
+
+func (chanTransport) Connect(job *Job, nranks int) (Session, error) {
+	if nranks < 1 {
+		return nil, fmt.Errorf("cluster: chan transport: %d ranks", nranks)
+	}
+	s := &chanSession{job: job, done: make(chan struct{})}
+	s.ranks = make([]*chanRank, nranks)
+	for i := range s.ranks {
+		s.ranks[i] = &chanRank{rank: rank{id: i}, inbox: make(chan stealRequest, nranks)}
+	}
+	return s, nil
+}
+
+// stealRequest is the message a thief sends to a victim's communication
+// goroutine; the reply carries the stolen tasks (nil for "nothing to give").
+type stealRequest struct {
+	reply chan []taskpool.Range
+}
+
+// chanRank is an in-process rank: the shared queue state plus the inbox its
+// communication goroutine serves.
+type chanRank struct {
+	rank
+	inbox chan stealRequest
+}
+
+type chanSession struct {
+	job   *Job
+	ranks []*chanRank
+
+	pending atomic.Int64 // tasks dealt but not yet executed, job-wide
+	done    chan struct{}
+	commWG  sync.WaitGroup
+	workWG  sync.WaitGroup
+	raw     []int64
+	started bool
+}
+
+func (s *chanSession) Deal(rankID int, tasks []taskpool.Range) error {
+	if s.started {
+		return fmt.Errorf("cluster: Deal after Start")
+	}
+	s.ranks[rankID].push(tasks)
+	s.pending.Add(int64(len(tasks)))
+	return nil
+}
+
+func (s *chanSession) Start() error {
+	if s.started {
+		return fmt.Errorf("cluster: session already started")
+	}
+	s.started = true
+
+	// Communication goroutines: serve steal requests until shutdown.
+	for _, nd := range s.ranks {
+		s.commWG.Add(1)
+		go func(nd *chanRank) {
+			defer s.commWG.Done()
+			for {
+				select {
+				case req := <-nd.inbox:
+					req.reply <- nd.takeHalf()
+				case <-s.done:
+					// Drain any in-flight requests so requesters never
+					// block.
+					for {
+						select {
+						case req := <-nd.inbox:
+							req.reply <- nil
+						default:
+							return
+						}
+					}
+				}
+			}
+		}(nd)
+	}
+
+	s.raw = make([]int64, len(s.ranks))
+	for i, nd := range s.ranks {
+		s.workWG.Add(1)
+		go func(i int, nd *chanRank) {
+			defer s.workWG.Done()
+			s.raw[i] = nd.drain(s.job, s.job.WorkersPerRank,
+				func() stealVerdict { return s.steal(nd) },
+				func() { s.pending.Add(-1) })
+		}(i, nd)
+	}
+	return nil
+}
+
+func (s *chanSession) Reduce() ([]RankResult, error) {
+	if !s.started {
+		return nil, fmt.Errorf("cluster: Reduce before Start")
+	}
+	s.workWG.Wait()
+	close(s.done)
+	s.commWG.Wait()
+	out := make([]RankResult, len(s.ranks))
+	for i, nd := range s.ranks {
+		out[i] = nd.result(s.raw[i])
+	}
+	return out, nil
+}
+
+func (s *chanSession) Close() error { return nil }
+
+// steal asks the richest peer's communication goroutine for work and pushes
+// the reply into the local queue.
+func (s *chanSession) steal(self *chanRank) stealVerdict {
+	if s.trySteal(self) {
+		return stealGot
+	}
+	if s.pending.Load() == 0 {
+		return stealDone
+	}
+	return stealRetry
+}
+
+// trySteal reports whether tasks arrived (or the queue refilled
+// concurrently).
+func (s *chanSession) trySteal(self *chanRank) bool {
+	if len(s.ranks) == 1 {
+		return false
+	}
+	if self.size() >= s.job.StealThreshold {
+		return true // queue refilled concurrently
+	}
+	victim := -1
+	best := 0
+	for i, nd := range s.ranks {
+		if nd == self {
+			continue
+		}
+		if sz := nd.size(); sz > best {
+			best, victim = sz, i
+		}
+	}
+	if victim < 0 {
+		return false
+	}
+	req := stealRequest{reply: make(chan []taskpool.Range, 1)}
+	select {
+	case s.ranks[victim].inbox <- req:
+	default:
+		return false // victim busy; caller retries
+	}
+	got := <-req.reply
+	if len(got) == 0 {
+		return false
+	}
+	self.push(got)
+	atomic.AddInt64(&s.ranks[victim].stats.StolenFrom, int64(len(got)))
+	atomic.AddInt64(&self.stats.StealsReceived, int64(len(got)))
+	return true
+}

@@ -1,37 +1,40 @@
 // Package cluster implements GraphPi's distributed pattern matching layer
-// (paper §IV-E) as a simulated multi-node system.
+// (paper §IV-E).
 //
 // The paper runs an OpenMP/MPI hybrid on Tianhe-2A: every node holds a full
 // replica of the data graph, a master partitions the outer loops into
 // fine-grained tasks, each node runs a communication thread that maintains a
 // local task queue and steals tasks from other nodes with asynchronous MPI
 // primitives when the queue runs low, and worker threads drain the local
-// queue. This package reproduces that architecture with goroutines and
-// channels standing in for MPI ranks and messages:
+// queue. This package reproduces that architecture and splits it into policy
+// and plumbing:
 //
-//   - Node — an MPI rank: a task queue, W worker goroutines, and a
-//     communication goroutine serving steal requests from peers.
-//   - The master (Run) packs outer-loop ranges into tasks and deals them to
-//     the nodes. When the planned schedule is edge-parallel eligible the
-//     ranges cover CSR adjacency slots (Counter.CountEdgeRange) so a hub
-//     vertex's work spreads across many tasks; otherwise they cover
-//     outermost-loop vertices (Counter.CountRange), mirroring the
-//     single-node engine's auto mode.
-//   - When a node's queue drops below StealThreshold, its communication
-//     goroutine requests work from the peer with the longest queue; the
-//     victim's communication goroutine replies with half its remainder.
+//   - Run is the master: it packs outer-loop ranges into tasks (edge-
+//     parallel CSR adjacency slots when the planned schedule is eligible,
+//     outermost-loop vertices otherwise), deals them round-robin, and
+//     reduces the per-rank partial counts. Run contains no channel or
+//     socket operations — all message movement is behind Transport.
+//   - Transport (transport.go) is the MPI stand-in: it delivers dealt
+//     queues, carries steal request/response traffic between ranks, and
+//     reduces partial results. Two implementations exist: the in-process
+//     channel fabric (chan_transport.go, the original simulation) and a
+//     real TCP worker mode (tcp_transport.go/serve.go) where each rank is
+//     a separate process holding its own replica of the data graph, loaded
+//     from a shared GPiCSR2 snapshot.
+//   - When a rank's queue drops below StealThreshold, it requests work
+//     from the peer with the longest queue; the victim replies with half
+//     its remainder. The channel fabric lets thieves address victims
+//     directly; the TCP fabric relays steals through the master, which
+//     tracks approximate queue lengths from the traffic it forwards.
 //
-// What the simulation preserves from the paper: task granularity effects,
-// load imbalance under power-law skew, steal traffic, and the flattening
-// speedup curves for short jobs (Figure 12). What it abstracts away: wire
-// latency and serialization costs.
+// What both fabrics preserve from the paper: task granularity effects, load
+// imbalance under power-law skew, steal traffic, and the flattening speedup
+// curves for short jobs (Figure 12). What the channel fabric abstracts away
+// — wire latency and serialization costs — the TCP fabric pays for real.
 package cluster
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"graphpi/internal/core"
@@ -39,11 +42,12 @@ import (
 	"graphpi/internal/taskpool"
 )
 
-// Options configures a simulated cluster run.
+// Options configures a cluster run.
 type Options struct {
-	// Nodes is the number of simulated MPI ranks (≥ 1).
+	// Nodes is the number of ranks (≥ 1). Ignored by transports with a
+	// fixed rank set (TCP: the connected worker count).
 	Nodes int
-	// WorkersPerNode is the number of worker goroutines per node (the
+	// WorkersPerNode is the number of worker goroutines per rank (the
 	// paper runs 24 OpenMP threads per rank); ≥ 1.
 	WorkersPerNode int
 	// ChunkSize is the task granularity in outermost-loop vertices
@@ -51,9 +55,8 @@ type Options struct {
 	// by the average degree so it stays in vertex units for both
 	// disciplines, exactly like core.RunOptions.ChunkSize.
 	ChunkSize int
-	// StealThreshold: a node's comm goroutine steals when its queue is
-	// shorter than this (< 1 → 2, the behavior of the paper's
-	// communication thread).
+	// StealThreshold: a rank steals when its queue is shorter than this
+	// (< 1 → 2, the behavior of the paper's communication thread).
 	StealThreshold int
 	// UseIEP enables inclusion–exclusion counting.
 	UseIEP bool
@@ -62,11 +65,15 @@ type Options struct {
 	// worker runs in total; On forces slot tasks whenever eligible; Off
 	// always packs vertex ranges (the pre-hybrid behavior).
 	EdgeParallel core.EdgeParallelMode
-	// NodeDelay artificially slows one node per task (failure/straggler
+	// NodeDelay artificially slows one rank per task (failure/straggler
 	// injection for tests); 0 disables.
 	NodeDelay time.Duration
-	// DelayedNode is the index of the straggler node when NodeDelay > 0.
+	// DelayedNode is the index of the straggler rank when NodeDelay > 0.
 	DelayedNode int
+	// Transport selects how cluster messages move. nil → the in-process
+	// channel transport (the original goroutine simulation). Use DialTCP
+	// to run against remote worker processes instead.
+	Transport Transport
 }
 
 // normalize clamps the options to runnable values. Chunk sizing reads the
@@ -83,22 +90,19 @@ func (o *Options) normalize() {
 	}
 }
 
-// totalWorkers returns the cluster-wide worker count of normalized options.
-func (o Options) totalWorkers() int { return o.Nodes * o.WorkersPerNode }
-
-// NodeStats describes one node's activity during a run.
+// NodeStats describes one rank's activity during a run.
 type NodeStats struct {
-	// TasksRun is the number of tasks the node's workers executed.
+	// TasksRun is the number of tasks the rank's workers executed.
 	TasksRun int64
-	// StolenFrom is the number of tasks other nodes took from this node.
+	// StolenFrom is the number of tasks other ranks took from this rank.
 	StolenFrom int64
-	// StealsReceived is the number of tasks this node obtained by
+	// StealsReceived is the number of tasks this rank obtained by
 	// stealing.
 	StealsReceived int64
-	// BusyTime is the wall time the node's workers spent executing tasks
+	// BusyTime is the wall time the rank's workers spent executing tasks
 	// (injected NodeDelay excluded — slowness shows up as fewer tasks
-	// executed, not as work done). The spread of BusyTime across nodes is
-	// the load-balance evidence of §IV-E: a node pinned by an indivisible
+	// executed, not as work done). The spread of BusyTime across ranks is
+	// the load-balance evidence of §IV-E: a rank pinned by an indivisible
 	// hub task shows up holding nearly 100% of the total busy time.
 	BusyTime time.Duration
 }
@@ -142,70 +146,16 @@ func (r *Result) MaxBusyShare() float64 {
 	return MaxBusyShare(busy)
 }
 
-// message types exchanged between node communication goroutines.
-type stealRequest struct {
-	reply chan []taskpool.Range
-}
-
-// node is one simulated MPI rank.
-type node struct {
-	id    int
-	mu    sync.Mutex
-	queue []taskpool.Range
-	head  int
-
-	inbox  chan stealRequest
-	busyNS atomic.Int64
-	stats  NodeStats
-}
-
-func (n *node) pop() (taskpool.Range, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if n.head >= len(n.queue) {
-		return taskpool.Range{}, false
-	}
-	t := n.queue[n.head]
-	n.head++
-	return t, true
-}
-
-func (n *node) size() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.queue) - n.head
-}
-
-// takeHalf removes up to half of the remaining tasks from the back of the
-// queue (the victim side of a steal).
-func (n *node) takeHalf() []taskpool.Range {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	remaining := len(n.queue) - n.head
-	if remaining <= 1 {
-		return nil
-	}
-	take := remaining / 2
-	cut := len(n.queue) - take
-	out := append([]taskpool.Range(nil), n.queue[cut:]...)
-	n.queue = n.queue[:cut]
-	return out
-}
-
-func (n *node) push(tasks []taskpool.Range) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.queue = append(n.queue, tasks...)
-}
-
 // packTasks decides the task shape and splits the outer loops accordingly.
-// Edge-parallel slot tasks are the fine-grained partitioning of §IV-E: work
-// units become proportional to edges, so one hub vertex can no longer pin an
-// entire node while its peers steal crumbs.
-func packTasks(cfg *core.Config, g *graph.Graph, opt Options) ([]taskpool.Range, bool) {
+// totalWorkers is the cluster-wide worker count as the transport resolves it
+// (remote workers may override their per-rank count). Edge-parallel slot
+// tasks are the fine-grained partitioning of §IV-E: work units become
+// proportional to edges, so one hub vertex can no longer pin an entire rank
+// while its peers steal crumbs.
+func packTasks(cfg *core.Config, g *graph.Graph, opt Options, totalWorkers int) ([]taskpool.Range, bool) {
 	edgePar := cfg.EdgeParallelEligible(opt.UseIEP) &&
 		opt.EdgeParallel != core.EdgeParallelOff &&
-		(opt.EdgeParallel == core.EdgeParallelOn || opt.totalWorkers() > 1)
+		(opt.EdgeParallel == core.EdgeParallelOn || totalWorkers > 1)
 	if edgePar {
 		m := g.NumAdjSlots()
 		chunk := opt.ChunkSize
@@ -216,180 +166,93 @@ func packTasks(cfg *core.Config, g *graph.Graph, opt Options) ([]taskpool.Range,
 				chunk *= avg
 			}
 		} else {
-			chunk = taskpool.AdaptiveChunk(m, opt.totalWorkers(), 16, 16, 65536)
+			chunk = taskpool.AdaptiveChunk(m, totalWorkers, 16, 16, 65536)
 		}
 		return taskpool.SplitChunks(m, chunk), true
 	}
 	nv := g.NumVertices()
 	chunk := opt.ChunkSize
 	if chunk < 1 {
-		chunk = taskpool.AdaptiveChunk(nv, opt.totalWorkers(), 16, 1, 0)
+		chunk = taskpool.AdaptiveChunk(nv, totalWorkers, 16, 1, 0)
 	}
 	return taskpool.SplitChunks(nv, chunk), false
 }
 
-// Run executes the configuration on a simulated cluster and returns the
-// embedding count with per-node statistics. Counts are exact and identical
-// for any node/worker configuration and either task shape.
+// Run executes the configuration on a cluster and returns the embedding
+// count with per-rank statistics. Counts are exact and identical for any
+// node/worker configuration, either task shape, and every transport.
 func Run(cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
 	opt.normalize()
+	tr := opt.Transport
+	if tr == nil {
+		tr = NewChanTransport()
+	}
+	nranks := tr.Ranks(opt.Nodes)
+	if nranks < 1 {
+		return nil, fmt.Errorf("cluster: transport has no ranks")
+	}
 	if g.NumVertices() == 0 {
-		return &Result{Nodes: make([]NodeStats, opt.Nodes)}, nil
+		return &Result{Nodes: make([]NodeStats, nranks)}, nil
 	}
-	tasks, edgePar := packTasks(cfg, g, opt)
+	tasks, edgePar := packTasks(cfg, g, opt,
+		tr.TotalWorkers(nranks, opt.WorkersPerNode))
 
-	nodes := make([]*node, opt.Nodes)
-	for i := range nodes {
-		nodes[i] = &node{id: i, inbox: make(chan stealRequest, opt.Nodes)}
+	job := &Job{
+		Cfg:            cfg,
+		Graph:          g,
+		UseIEP:         opt.UseIEP,
+		EdgeParallel:   edgePar,
+		WorkersPerRank: opt.WorkersPerNode,
+		StealThreshold: opt.StealThreshold,
+		NodeDelay:      opt.NodeDelay,
+		DelayedRank:    opt.DelayedNode,
 	}
+	sess, err := tr.Connect(job, nranks)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+
 	// The master deals tasks round-robin (the paper's master thread packs
 	// outer-loop values and distributes them).
+	queues := make([][]taskpool.Range, nranks)
 	for i, t := range tasks {
-		nd := nodes[i%opt.Nodes]
-		nd.queue = append(nd.queue, t)
+		queues[i%nranks] = append(queues[i%nranks], t)
 	}
-
-	var pending atomic.Int64
-	pending.Store(int64(len(tasks)))
-	done := make(chan struct{})
-
-	// Communication goroutines: serve steal requests until shutdown.
-	var commWG sync.WaitGroup
-	for _, nd := range nodes {
-		commWG.Add(1)
-		go func(nd *node) {
-			defer commWG.Done()
-			for {
-				select {
-				case req := <-nd.inbox:
-					req.reply <- nd.takeHalf()
-				case <-done:
-					// Drain any in-flight requests so requesters never block.
-					for {
-						select {
-						case req := <-nd.inbox:
-							req.reply <- nil
-						default:
-							return
-						}
-					}
-				}
-			}
-		}(nd)
+	for r, q := range queues {
+		if len(q) == 0 {
+			continue
+		}
+		if err := sess.Deal(r, q); err != nil {
+			return nil, err
+		}
 	}
 
 	start := time.Now()
-	var workWG sync.WaitGroup
-	rawCounts := make([]int64, opt.Nodes*opt.WorkersPerNode)
-	for ni, nd := range nodes {
-		for w := 0; w < opt.WorkersPerNode; w++ {
-			workWG.Add(1)
-			go func(nd *node, slot int) {
-				defer workWG.Done()
-				counter := core.NewCounter(cfg, g, opt.UseIEP)
-				for {
-					t, ok := nd.pop()
-					if !ok {
-						if !trySteal(nd, nodes, opt) {
-							if pending.Load() == 0 {
-								break
-							}
-							// Someone still runs tasks that might be
-							// re-stolen; yield briefly.
-							time.Sleep(50 * time.Microsecond)
-							continue
-						}
-						continue
-					}
-					if opt.NodeDelay > 0 && nd.id == opt.DelayedNode {
-						// Injected slowness is deliberately not counted as
-						// busy time: BusyTime measures how the useful work
-						// spread across nodes, and a straggler's handicap
-						// shows up as fewer tasks executed.
-						time.Sleep(opt.NodeDelay)
-					}
-					t0 := time.Now()
-					if edgePar {
-						counter.CountEdgeRange(t.Start, t.End)
-					} else {
-						counter.CountRange(t.Start, t.End)
-					}
-					nd.busyNS.Add(int64(time.Since(t0)))
-					atomic.AddInt64(&nd.stats.TasksRun, 1)
-					pending.Add(-1)
-					// Yield between tasks so simulated ranks interleave
-					// fairly even when the host has fewer cores than the
-					// cluster has workers; without this, one goroutine can
-					// drain every queue before its peers are scheduled —
-					// a shared-CPU artifact, not a property of §IV-E.
-					runtime.Gosched()
-				}
-				rawCounts[slot] = counter.Raw()
-			}(nd, ni*opt.WorkersPerNode+w)
-		}
+	if err := sess.Start(); err != nil {
+		return nil, err
 	}
-	workWG.Wait()
-	close(done)
-	commWG.Wait()
-
-	var raw int64
-	for _, c := range rawCounts {
-		raw += c
+	partials, err := sess.Reduce()
+	if err != nil {
+		return nil, err
 	}
 	res := &Result{
 		Elapsed:      time.Since(start),
 		Tasks:        len(tasks),
-		Nodes:        make([]NodeStats, opt.Nodes),
+		Nodes:        make([]NodeStats, nranks),
 		EdgeParallel: edgePar,
+	}
+	var raw int64
+	for i, p := range partials {
+		raw += p.Raw
+		res.Nodes[i] = p.Stats
 	}
 	if opt.UseIEP {
 		res.Count = cfg.ScaleIEP(raw)
 	} else {
 		res.Count = raw
 	}
-	for i, nd := range nodes {
-		nd.stats.BusyTime = time.Duration(nd.busyNS.Load())
-		res.Nodes[i] = nd.stats
-	}
 	return res, nil
-}
-
-// trySteal asks the richest peer's communication goroutine for work and
-// pushes the reply into the local queue. Returns true if tasks arrived.
-func trySteal(self *node, nodes []*node, opt Options) bool {
-	if len(nodes) == 1 {
-		return false
-	}
-	if self.size() >= opt.StealThreshold {
-		return true // queue refilled concurrently
-	}
-	victim := -1
-	best := 0
-	for i, nd := range nodes {
-		if nd == self {
-			continue
-		}
-		if s := nd.size(); s > best {
-			best, victim = s, i
-		}
-	}
-	if victim < 0 {
-		return false
-	}
-	req := stealRequest{reply: make(chan []taskpool.Range, 1)}
-	select {
-	case nodes[victim].inbox <- req:
-	default:
-		return false // victim busy; caller retries
-	}
-	got := <-req.reply
-	if len(got) == 0 {
-		return false
-	}
-	self.push(got)
-	atomic.AddInt64(&nodes[victim].stats.StolenFrom, int64(len(got)))
-	atomic.AddInt64(&self.stats.StealsReceived, int64(len(got)))
-	return true
 }
 
 // String renders per-node statistics compactly.

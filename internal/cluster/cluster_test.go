@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -11,7 +12,7 @@ import (
 	"graphpi/internal/schedule"
 )
 
-func planFor(t *testing.T, g *graph.Graph, p *pattern.Pattern) *core.Config {
+func planFor(t testing.TB, g *graph.Graph, p *pattern.Pattern) *core.Config {
 	t.Helper()
 	res, err := core.Plan(p, g.Stats(), core.PlanOptions{})
 	if err != nil {
@@ -20,28 +21,86 @@ func planFor(t *testing.T, g *graph.Graph, p *pattern.Pattern) *core.Config {
 	return res.Best
 }
 
+// startWorkers spins up n loopback TCP worker processes (goroutine-hosted
+// cluster.Serve instances, each with its own listener) serving the graph g,
+// and returns their addresses. Listeners are closed via t.Cleanup.
+func startWorkers(t testing.TB, g *graph.Graph, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ln.Close() })
+		go Serve(ln, g, ServeOptions{})
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+// dialWorkers connects a TCP transport to loopback workers serving g and
+// registers its teardown.
+func dialWorkers(t testing.TB, g *graph.Graph, n int) Transport {
+	t.Helper()
+	tr, err := DialTCP(startWorkers(t, g, n), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+// transportCase materializes one fabric for a (graph, nodes) pair: the
+// channel transport simulates nodes in-process, the TCP transport spins up
+// that many loopback worker processes. The same test bodies run against
+// both — the conformance suite of the Transport contract.
+type transportCase struct {
+	name string
+	open func(t testing.TB, g *graph.Graph, nodes int) Transport
+}
+
+var transportCases = []transportCase{
+	{name: "chan", open: func(t testing.TB, g *graph.Graph, nodes int) Transport {
+		return NewChanTransport()
+	}},
+	{name: "tcp", open: func(t testing.TB, g *graph.Graph, nodes int) Transport {
+		return dialWorkers(t, g, nodes)
+	}},
+}
+
 func TestClusterMatchesSingleNode(t *testing.T) {
 	g := graph.BarabasiAlbert(400, 5, 77)
 	p := pattern.House()
 	cfg := planFor(t, g, p)
 	want := cfg.Count(g, core.RunOptions{Workers: 1})
-	for _, nodes := range []int{1, 2, 4} {
-		for _, wpn := range []int{1, 3} {
-			res, err := Run(cfg, g, Options{Nodes: nodes, WorkersPerNode: wpn})
-			if err != nil {
-				t.Fatal(err)
+	for _, tc := range transportCases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, nodes := range []int{1, 2, 4} {
+				tr := tc.open(t, g, nodes)
+				for _, wpn := range []int{1, 3} {
+					res, err := Run(cfg, g, Options{
+						Nodes: nodes, WorkersPerNode: wpn, Transport: tr,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Count != want {
+						t.Errorf("nodes=%d wpn=%d: count = %d, want %d", nodes, wpn, res.Count, want)
+					}
+					if len(res.Nodes) != nodes {
+						t.Fatalf("nodes=%d: got %d rank stats", nodes, len(res.Nodes))
+					}
+					var tasksRun int64
+					for _, ns := range res.Nodes {
+						tasksRun += ns.TasksRun
+					}
+					if int(tasksRun) != res.Tasks {
+						t.Errorf("nodes=%d: tasks run %d != created %d", nodes, tasksRun, res.Tasks)
+					}
+				}
 			}
-			if res.Count != want {
-				t.Errorf("nodes=%d wpn=%d: count = %d, want %d", nodes, wpn, res.Count, want)
-			}
-			var tasksRun int64
-			for _, ns := range res.Nodes {
-				tasksRun += ns.TasksRun
-			}
-			if int(tasksRun) != res.Tasks {
-				t.Errorf("nodes=%d: tasks run %d != created %d", nodes, tasksRun, res.Tasks)
-			}
-		}
+		})
 	}
 }
 
@@ -50,15 +109,22 @@ func TestClusterIEP(t *testing.T) {
 	p := pattern.Cycle6Tri()
 	cfg := planFor(t, g, p)
 	want := cfg.CountIEP(g, core.RunOptions{Workers: 1})
-	res, err := Run(cfg, g, Options{Nodes: 3, WorkersPerNode: 2, UseIEP: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Count != want {
-		t.Errorf("cluster IEP = %d, want %d", res.Count, want)
-	}
 	if plain := cfg.Count(g, core.RunOptions{Workers: 2}); plain != want {
 		t.Errorf("IEP %d != plain %d", want, plain)
+	}
+	for _, tc := range transportCases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := tc.open(t, g, 3)
+			res, err := Run(cfg, g, Options{
+				Nodes: 3, WorkersPerNode: 2, UseIEP: true, Transport: tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Errorf("cluster IEP = %d, want %d", res.Count, want)
+			}
+		})
 	}
 }
 
@@ -69,23 +135,29 @@ func TestWorkStealingFromStraggler(t *testing.T) {
 	p := pattern.Triangle()
 	cfg := planFor(t, g, p)
 	want := cfg.Count(g, core.RunOptions{Workers: 1})
-	res, err := Run(cfg, g, Options{
-		Nodes: 3, WorkersPerNode: 1, ChunkSize: 4,
-		NodeDelay: 2 * time.Millisecond, DelayedNode: 0,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Count != want {
-		t.Fatalf("count = %d, want %d", res.Count, want)
-	}
-	healthy := res.Nodes[1].TasksRun + res.Nodes[2].TasksRun
-	if healthy <= res.Nodes[0].TasksRun {
-		t.Errorf("healthy nodes ran %d tasks vs straggler %d; stealing ineffective",
-			healthy, res.Nodes[0].TasksRun)
-	}
-	if res.Nodes[1].StealsReceived+res.Nodes[2].StealsReceived == 0 {
-		t.Error("no steals recorded despite straggler")
+	for _, tc := range transportCases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := tc.open(t, g, 3)
+			res, err := Run(cfg, g, Options{
+				Nodes: 3, WorkersPerNode: 1, ChunkSize: 4,
+				NodeDelay: 2 * time.Millisecond, DelayedNode: 0,
+				Transport: tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Fatalf("count = %d, want %d", res.Count, want)
+			}
+			healthy := res.Nodes[1].TasksRun + res.Nodes[2].TasksRun
+			if healthy <= res.Nodes[0].TasksRun {
+				t.Errorf("healthy nodes ran %d tasks vs straggler %d; stealing ineffective",
+					healthy, res.Nodes[0].TasksRun)
+			}
+			if res.Nodes[1].StealsReceived+res.Nodes[2].StealsReceived == 0 {
+				t.Error("no steals recorded despite straggler")
+			}
+		})
 	}
 }
 
@@ -93,15 +165,24 @@ func TestClusterTinyGraph(t *testing.T) {
 	g := graph.Complete(6)
 	p := pattern.Triangle()
 	cfg := planFor(t, g, p)
-	res, err := Run(cfg, g, Options{Nodes: 4, WorkersPerNode: 2, ChunkSize: 1})
-	if err != nil {
-		t.Fatal(err)
+	for _, tc := range transportCases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := tc.open(t, g, 4)
+			res, err := Run(cfg, g, Options{
+				Nodes: 4, WorkersPerNode: 2, ChunkSize: 1, Transport: tr,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != 20 {
+				t.Errorf("K6 triangles = %d, want 20", res.Count)
+			}
+		})
 	}
-	if res.Count != 20 {
-		t.Errorf("K6 triangles = %d, want 20", res.Count)
-	}
+	// The empty graph short-circuits before any transport traffic.
 	empty, _ := graph.FromEdges(0, nil)
-	res, err = Run(cfg, empty, Options{Nodes: 2})
+	cfg2 := planFor(t, g, p)
+	res, err := Run(cfg2, empty, Options{Nodes: 2})
 	if err != nil || res.Count != 0 {
 		t.Errorf("empty graph: %v %v", res, err)
 	}
@@ -142,12 +223,13 @@ func hubRootTriangle(t testing.TB) *core.Config {
 }
 
 // TestClusterEdgeParallelBalance is the cluster-level analogue of
-// core.TestEdgeParallelBalance: on the extreme-skew fixture, vertex-range
-// tasks pin one node with nearly all the busy time (the hub's chunk is
-// indivisible, so stealing cannot help), while edge-parallel slot tasks
-// spread the hub's adjacency across many stealable tasks and the max
-// per-node busy-time share collapses below 2x the ideal 1/Nodes share —
-// even when one node is an injected straggler.
+// core.TestEdgeParallelBalance, run as a conformance case on every
+// transport: on the extreme-skew fixture, vertex-range tasks pin one node
+// with nearly all the busy time (the hub's chunk is indivisible, so stealing
+// cannot help), while edge-parallel slot tasks spread the hub's adjacency
+// across many stealable tasks and the max per-node busy-time share collapses
+// below 2x the ideal 1/Nodes share — even when one node is an injected
+// straggler.
 func TestClusterEdgeParallelBalance(t *testing.T) {
 	const nodes = 4
 	g := starRingGraph(30000)
@@ -157,93 +239,107 @@ func TestClusterEdgeParallelBalance(t *testing.T) {
 	}
 	want := cfg.Count(g, core.RunOptions{Workers: 1, EdgeParallel: core.EdgeParallelOff})
 
-	base := Options{Nodes: nodes, WorkersPerNode: 1, ChunkSize: 64}
+	for _, tc := range transportCases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := tc.open(t, g, nodes)
+			base := Options{Nodes: nodes, WorkersPerNode: 1, ChunkSize: 64, Transport: tr}
 
-	vopt := base
-	vopt.EdgeParallel = core.EdgeParallelOff
-	vres, err := Run(cfg, g, vopt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if vres.EdgeParallel {
-		t.Fatal("EdgeParallelOff ran slot tasks")
-	}
-	if vres.Count != want {
-		t.Fatalf("vertex-range count = %d, want %d", vres.Count, want)
-	}
+			vopt := base
+			vopt.EdgeParallel = core.EdgeParallelOff
+			vres, err := Run(cfg, g, vopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if vres.EdgeParallel {
+				t.Fatal("EdgeParallelOff ran slot tasks")
+			}
+			if vres.Count != want {
+				t.Fatalf("vertex-range count = %d, want %d", vres.Count, want)
+			}
 
-	eres, err := Run(cfg, g, base)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !eres.EdgeParallel {
-		t.Fatal("auto mode should pack slot tasks for an eligible schedule")
-	}
-	if eres.Count != want {
-		t.Fatalf("edge-parallel count = %d, want %d", eres.Count, want)
-	}
+			eres, err := Run(cfg, g, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eres.EdgeParallel {
+				t.Fatal("auto mode should pack slot tasks for an eligible schedule")
+			}
+			if eres.Count != want {
+				t.Fatalf("edge-parallel count = %d, want %d", eres.Count, want)
+			}
 
-	sopt := base
-	sopt.NodeDelay = 200 * time.Microsecond
-	sopt.DelayedNode = 1
-	sres, err := Run(cfg, g, sopt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sres.Count != want {
-		t.Fatalf("straggler edge-parallel count = %d, want %d", sres.Count, want)
-	}
+			sopt := base
+			sopt.NodeDelay = 200 * time.Microsecond
+			sopt.DelayedNode = 1
+			sres, err := Run(cfg, g, sopt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sres.Count != want {
+				t.Fatalf("straggler edge-parallel count = %d, want %d", sres.Count, want)
+			}
 
-	vShare, eShare, sShare := vres.MaxBusyShare(), eres.MaxBusyShare(), sres.MaxBusyShare()
-	t.Logf("max busy share: vertex %.3f (%d tasks), edge %.3f (%d tasks), edge+straggler %.3f",
-		vShare, vres.Tasks, eShare, eres.Tasks, sShare)
-	if vShare < 0.6 {
-		t.Errorf("vertex-range tasks should serialize on the hub: max busy share %.3f", vShare)
-	}
-	bound := 2.0 / nodes
-	if eShare >= bound {
-		t.Errorf("edge-parallel max busy share %.3f, want < %.3f", eShare, bound)
-	}
-	if sShare >= bound {
-		t.Errorf("edge-parallel max busy share with straggler %.3f, want < %.3f", sShare, bound)
+			vShare, eShare, sShare := vres.MaxBusyShare(), eres.MaxBusyShare(), sres.MaxBusyShare()
+			t.Logf("max busy share: vertex %.3f (%d tasks), edge %.3f (%d tasks), edge+straggler %.3f",
+				vShare, vres.Tasks, eShare, eres.Tasks, sShare)
+			if vShare < 0.6 {
+				t.Errorf("vertex-range tasks should serialize on the hub: max busy share %.3f", vShare)
+			}
+			bound := 2.0 / nodes
+			if eShare >= bound {
+				t.Errorf("edge-parallel max busy share %.3f, want < %.3f", eShare, bound)
+			}
+			if sShare >= bound {
+				t.Errorf("edge-parallel max busy share with straggler %.3f, want < %.3f", sShare, bound)
+			}
+		})
 	}
 }
 
 // TestClusterHybridEquivalence pins cluster.Run to the single-node engine
-// across {1, N} nodes x {vertex, edge}-parallel x {plain, IEP} on both the
-// original and the Optimize()d (reordered + hub bitmaps) view of the graph.
+// across {chan, tcp} transports x {1, N} nodes x {vertex, edge}-parallel x
+// {plain, IEP} on both the original and the Optimize()d (reordered + hub
+// bitmaps) view of the graph, over the paper's named pattern suite. This is
+// the bit-identical-counts acceptance gate for the transport layer.
 func TestClusterHybridEquivalence(t *testing.T) {
 	g := graph.BarabasiAlbert(300, 5, 99)
 	og := g.Reorder()
-	og.BuildHubBitmaps(1 << 22)
+	og.BuildHubBitmaps(1<<22, 0)
 	if og.NumHubs() == 0 {
 		t.Fatal("fixture should have hub bitmaps")
 	}
 	pats := []*pattern.Pattern{
-		pattern.Triangle(), pattern.Rectangle(), pattern.House(), pattern.Cycle6Tri(),
+		pattern.Triangle(), pattern.Rectangle(), pattern.Pentagon(),
+		pattern.House(), pattern.Cycle6Tri(),
 	}
-	for _, p := range pats {
-		cfg := planFor(t, g, p)
-		want := cfg.Count(g, core.RunOptions{Workers: 1})
-		for gi, dg := range []*graph.Graph{g, og} {
-			for _, useIEP := range []bool{false, true} {
+	for _, tc := range transportCases {
+		t.Run(tc.name, func(t *testing.T) {
+			for gi, dg := range []*graph.Graph{g, og} {
 				for _, nodes := range []int{1, 3} {
-					for _, mode := range []core.EdgeParallelMode{core.EdgeParallelOff, core.EdgeParallelOn} {
-						res, err := Run(cfg, dg, Options{
-							Nodes: nodes, WorkersPerNode: 2,
-							UseIEP: useIEP, EdgeParallel: mode,
-						})
-						if err != nil {
-							t.Fatal(err)
-						}
-						if res.Count != want {
-							t.Errorf("%s optimized=%v iep=%v nodes=%d mode=%d: count = %d, want %d",
-								p.Name(), gi == 1, useIEP, nodes, mode, res.Count, want)
+					tr := tc.open(t, dg, nodes)
+					for _, p := range pats {
+						cfg := planFor(t, g, p)
+						want := cfg.Count(g, core.RunOptions{Workers: 1})
+						for _, useIEP := range []bool{false, true} {
+							for _, mode := range []core.EdgeParallelMode{core.EdgeParallelOff, core.EdgeParallelOn} {
+								res, err := Run(cfg, dg, Options{
+									Nodes: nodes, WorkersPerNode: 2,
+									UseIEP: useIEP, EdgeParallel: mode,
+									Transport: tr,
+								})
+								if err != nil {
+									t.Fatal(err)
+								}
+								if res.Count != want {
+									t.Errorf("%s optimized=%v iep=%v nodes=%d mode=%d: count = %d, want %d",
+										p.Name(), gi == 1, useIEP, nodes, mode, res.Count, want)
+								}
+							}
 						}
 					}
 				}
 			}
-		}
+		})
 	}
 }
 

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphpi/internal/graph"
+)
+
+// This file is the worker side of the TCP fabric: a process that holds a
+// full replica of the data graph (typically loaded from a shared GPiCSR2
+// snapshot with graph.LoadBinaryFile), accepts master connections, and
+// executes the same compiled configurations the master planned. One worker
+// process is one rank; its internal structure mirrors a channel-transport
+// rank exactly — the shared rank.drain loop runs the worker goroutines, and
+// the connection reader plays the communication thread serving steal-ask
+// requests while workers compute.
+
+// ServeOptions configures a worker process.
+type ServeOptions struct {
+	// Workers overrides the per-job worker goroutine count requested by
+	// the master (0 → honor the job's WorkersPerRank). Set it when worker
+	// machines have heterogeneous core counts.
+	Workers int
+	// Logf, if non-nil, receives connection lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (o ServeOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// handshakeTimeout bounds the hello/welcome exchange so a port scanner or a
+// stalled peer cannot pin a connection handler forever. Jobs themselves run
+// without deadlines — counting can legitimately take minutes.
+const handshakeTimeout = 10 * time.Second
+
+// Serve accepts master connections on ln and executes their counting jobs
+// against g, the worker's replica of the data graph. It blocks until ln is
+// closed (which is the idiomatic shutdown: close the listener, in-flight
+// jobs fail their masters' connections). Each connection is served on its
+// own goroutine, so a worker can in principle serve several masters, though
+// they compete for the same cores.
+func Serve(ln net.Listener, g *graph.Graph, opt ServeOptions) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			if err := serveConn(conn, g, opt); err != nil {
+				opt.logf("cluster worker: %v: %v", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// serveConn handles one master for its lifetime: handshake, then a sequence
+// of jobs. A clean disconnect (EOF between jobs) returns nil.
+func serveConn(conn net.Conn, g *graph.Graph, opt ServeOptions) error {
+	br := bufio.NewReader(conn)
+	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
+		return err
+	}
+	typ, payload, err := readFrame(br)
+	if err != nil {
+		return fmt.Errorf("reading hello: %w", err)
+	}
+	if typ != msgHello {
+		return fmt.Errorf("expected hello, got frame type %d", typ)
+	}
+	if err := decodeHello(payload); err != nil {
+		writeFrame(conn, msgError, []byte(err.Error()))
+		return err
+	}
+	if err := writeFrame(conn, msgWelcome, encodeWelcome(opt.Workers, fingerprintOf(g))); err != nil {
+		return err
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return err
+	}
+	opt.logf("cluster worker: %v joined", conn.RemoteAddr())
+
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				opt.logf("cluster worker: %v left", conn.RemoteAddr())
+				return nil
+			}
+			return err
+		}
+		if typ != msgJob {
+			return fmt.Errorf("expected job, got frame type %d", typ)
+		}
+		if err := runWorkerJob(conn, br, g, opt, payload); err != nil {
+			return err
+		}
+	}
+}
+
+// workerConnState is the per-job connection state: a write mutex shared by
+// the steal agent (requests), the reader (steal-give replies) and the result
+// sender.
+type workerConnState struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+func (c *workerConnState) write(typ uint8, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return writeFrame(c.conn, typ, payload)
+}
+
+// runWorkerJob executes one job frame end to end: compile, receive the
+// initial deal, drain with master-relayed stealing, report the result, and
+// wait for the job epilogue.
+func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOptions, jobPayload []byte) error {
+	spec, err := decodeJob(jobPayload)
+	if err != nil {
+		writeFrame(conn, msgError, []byte(err.Error()))
+		return err
+	}
+	job, err := spec.compile(g)
+	if err != nil {
+		// A rejected job (graph/config mismatch) is not a connection
+		// error: report it and let the master decide; it will usually
+		// close the connection, which the outer loop handles as a leave.
+		return writeFrame(conn, msgError, []byte(err.Error()))
+	}
+	if opt.Workers > 0 {
+		job.WorkersPerRank = opt.Workers
+	}
+	if err := writeFrame(conn, msgJobOK, nil); err != nil {
+		return err
+	}
+
+	rk := &rank{id: spec.Rank}
+	// Initial deal: zero or one tasks frame, then start. (Ranks beyond the
+	// task count receive no tasks frame at all.)
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return fmt.Errorf("reading deal: %w", err)
+		}
+		if typ == msgStart {
+			break
+		}
+		if typ != msgTasks {
+			return fmt.Errorf("expected tasks or start, got frame type %d", typ)
+		}
+		ts, err := decodeTasks(payload)
+		if err != nil {
+			return err
+		}
+		rk.push(ts)
+	}
+
+	c := &workerConnState{conn: conn}
+	replies := make(chan stealVerdict, 1)
+	readerDone := make(chan struct{})
+	var readerErr error
+	var jobDone atomic.Bool
+
+	// The communication thread: serve steal-asks from the master's relay
+	// and route steal replies to the steal agent, until the master closes
+	// the job (msgJobDone) or the connection dies.
+	go func() {
+		defer close(readerDone)
+		for {
+			typ, payload, err := readFrame(br)
+			if err != nil {
+				readerErr = fmt.Errorf("mid-job read: %w", err)
+				return
+			}
+			switch typ {
+			case msgStealAsk:
+				tasks := rk.takeHalf()
+				atomic.AddInt64(&rk.stats.StolenFrom, int64(len(tasks)))
+				if err := c.write(msgStealGive, encodeStealGive(rk.size(), tasks)); err != nil {
+					readerErr = err
+					return
+				}
+			case msgTasks:
+				ts, err := decodeTasks(payload)
+				if err != nil {
+					readerErr = err
+					return
+				}
+				rk.push(ts)
+				atomic.AddInt64(&rk.stats.StealsReceived, int64(len(ts)))
+				replies <- stealGot
+			case msgRetry:
+				replies <- stealRetry
+			case msgNoWork:
+				replies <- stealDone
+			case msgJobDone:
+				return
+			default:
+				readerErr = fmt.Errorf("unexpected mid-job frame type %d", typ)
+				return
+			}
+		}
+	}()
+
+	// The steal agent, shared by the rank's workers: one outstanding
+	// request at a time, relayed through the master.
+	var stealMu sync.Mutex
+	steal := func() stealVerdict {
+		stealMu.Lock()
+		defer stealMu.Unlock()
+		if jobDone.Load() {
+			return stealDone
+		}
+		if rk.size() >= job.StealThreshold {
+			return stealGot // queue refilled concurrently
+		}
+		if spec.NumRanks == 1 {
+			// No peers to steal from; an empty queue means the job is
+			// locally (hence globally) drained.
+			jobDone.Store(true)
+			return stealDone
+		}
+		if err := c.write(msgStealReq, encodeRemaining(rk.size())); err != nil {
+			jobDone.Store(true)
+			return stealDone
+		}
+		select {
+		case v := <-replies:
+			if v == stealDone {
+				jobDone.Store(true)
+			}
+			return v
+		case <-readerDone:
+			// Connection lost: abandon the job; the master sees the
+			// rank as disconnected.
+			jobDone.Store(true)
+			return stealDone
+		}
+	}
+
+	raw := rk.drain(job, job.WorkersPerRank, steal, nil)
+
+	if err := c.write(msgResult, encodeResult(rk.result(raw))); err != nil {
+		<-readerDone
+		return err
+	}
+	<-readerDone
+	return readerErr
+}

@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"graphpi/internal/core"
+	"graphpi/internal/graph"
+	"graphpi/internal/pattern"
+)
+
+// runWithTimeout guards Run calls that exercise failure paths: the contract
+// under test is "errors, never hangs".
+func runWithTimeout(t *testing.T, d time.Duration, cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Run(cfg, g, opt)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(d):
+		t.Fatalf("Run did not return within %v", d)
+		return nil, nil
+	}
+}
+
+// TestTCPSnapshotWorker exercises the deployment path the transport is built
+// for: the worker loads its replica from a GPiCSR2 snapshot it did not
+// write, including an Optimize()d view, and produces the master's exact
+// counts.
+func TestTCPSnapshotWorker(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 5, 21)
+	og := g.Reorder()
+	og.BuildHubBitmaps(1<<22, 0)
+	dir := t.TempDir()
+	for name, dg := range map[string]*graph.Graph{"plain": g, "optimized": og} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name+".bin")
+			if err := graph.SaveBinaryFile(path, dg); err != nil {
+				t.Fatal(err)
+			}
+			replica, err := graph.LoadBinaryFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := DialTCP(startWorkers(t, replica, 2), DialOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			cfg := planFor(t, g, pattern.House())
+			want := cfg.Count(g, core.RunOptions{Workers: 1})
+			res, err := Run(cfg, dg, Options{WorkersPerNode: 2, UseIEP: true, Transport: tr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != want {
+				t.Errorf("snapshot worker count = %d, want %d", res.Count, want)
+			}
+		})
+	}
+}
+
+// TestTCPSequentialJobs reuses one transport for several jobs, including
+// different patterns and IEP modes — the ConnectCluster usage pattern.
+func TestTCPSequentialJobs(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 4, 5)
+	tr := dialWorkers(t, g, 2)
+	for _, p := range []*pattern.Pattern{pattern.Triangle(), pattern.Rectangle(), pattern.House()} {
+		cfg := planFor(t, g, p)
+		want := cfg.Count(g, core.RunOptions{Workers: 1})
+		for _, iep := range []bool{false, true} {
+			res, err := Run(cfg, g, Options{WorkersPerNode: 2, UseIEP: iep, Transport: tr})
+			if err != nil {
+				t.Fatalf("%s iep=%v: %v", p.Name(), iep, err)
+			}
+			if res.Count != want {
+				t.Errorf("%s iep=%v: count = %d, want %d", p.Name(), iep, res.Count, want)
+			}
+		}
+	}
+}
+
+// TestTCPRanksFixed: the TCP transport's rank count is its worker set, not
+// the requested node count.
+func TestTCPRanksFixed(t *testing.T) {
+	g := graph.GNP(60, 0.3, 9)
+	tr := dialWorkers(t, g, 2)
+	if n := tr.Ranks(5); n != 2 {
+		t.Fatalf("Ranks(5) = %d, want 2", n)
+	}
+	cfg := planFor(t, g, pattern.Triangle())
+	res, err := Run(cfg, g, Options{Nodes: 5, WorkersPerNode: 1, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 2 {
+		t.Fatalf("result has %d ranks, want 2", len(res.Nodes))
+	}
+	if want := cfg.Count(g, core.RunOptions{Workers: 1}); res.Count != want {
+		t.Errorf("count = %d, want %d", res.Count, want)
+	}
+}
+
+// TestTCPGraphMismatch: a worker holding a different replica must reject the
+// job with a descriptive error instead of counting wrong.
+func TestTCPGraphMismatch(t *testing.T) {
+	master := graph.BarabasiAlbert(300, 4, 5)
+	mismatches := map[string]*graph.Graph{
+		"size":      graph.BarabasiAlbert(301, 4, 5),
+		"reordered": master.Reorder(),
+	}
+	for name, workerGraph := range mismatches {
+		t.Run(name, func(t *testing.T) {
+			tr, err := DialTCP(startWorkers(t, workerGraph, 1), DialOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tr.Close()
+			cfg := planFor(t, master, pattern.Triangle())
+			_, err = runWithTimeout(t, 30*time.Second, cfg, master, Options{Transport: tr})
+			if err == nil {
+				t.Fatal("mismatched replica did not error")
+			}
+			if !strings.Contains(err.Error(), "graph mismatch") {
+				t.Errorf("error %q does not name the graph mismatch", err)
+			}
+		})
+	}
+}
+
+// TestTCPNameMismatch: dataset names, when both sides carry one, must agree.
+func TestTCPNameMismatch(t *testing.T) {
+	master := graph.BarabasiAlbert(200, 4, 5)
+	master.SetName("ds-a")
+	workerGraph := graph.BarabasiAlbert(200, 4, 5)
+	workerGraph.SetName("ds-b")
+	tr, err := DialTCP(startWorkers(t, workerGraph, 1), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cfg := planFor(t, master, pattern.Triangle())
+	_, err = runWithTimeout(t, 30*time.Second, cfg, master, Options{Transport: tr})
+	if err == nil || !strings.Contains(err.Error(), "graph mismatch") {
+		t.Fatalf("name mismatch not rejected: %v", err)
+	}
+}
+
+// TestTCPWorkerDisconnect: a worker that dies mid-job must surface as an
+// error from Run, never a hang, and the transport must refuse further jobs.
+func TestTCPWorkerDisconnect(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 5, 7)
+	// One honest worker plus one saboteur that handshakes, accepts the
+	// job, then drops the connection right after start.
+	honest := startWorkers(t, g, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		// hello → welcome
+		if typ, _, err := readFrame(conn); err != nil || typ != msgHello {
+			return
+		}
+		writeFrame(conn, msgWelcome, encodeWelcome(0, fingerprintOf(g)))
+		// job → jobOK
+		if typ, _, err := readFrame(conn); err != nil || typ != msgJob {
+			return
+		}
+		writeFrame(conn, msgJobOK, nil)
+		// Consume deal frames until start, then vanish.
+		for {
+			typ, _, err := readFrame(conn)
+			if err != nil || typ == msgStart {
+				return
+			}
+		}
+	}()
+
+	tr, err := DialTCP(append(honest, ln.Addr().String()), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cfg := planFor(t, g, pattern.House())
+	_, err = runWithTimeout(t, 30*time.Second, cfg, g, Options{WorkersPerNode: 2, Transport: tr})
+	if err == nil {
+		t.Fatal("disconnected worker did not error")
+	}
+	if !strings.Contains(err.Error(), "disconnected") {
+		t.Errorf("error %q does not report the disconnect", err)
+	}
+	// The transport is poisoned: further jobs must be refused, not hung.
+	if _, err := runWithTimeout(t, 10*time.Second, cfg, g, Options{Transport: tr}); err == nil {
+		t.Error("poisoned transport accepted another job")
+	}
+}
+
+// TestTCPHandshakeRejectsStrangers: dialing something that is not a worker
+// errors instead of hanging, and a worker shrugs off garbage connections.
+func TestTCPHandshakeRejectsStrangers(t *testing.T) {
+	// A server that writes garbage instead of a welcome.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		conn.Write([]byte("NOT A GRAPHPI WORKER\n"))
+		conn.Close()
+	}()
+	if _, err := DialTCP([]string{ln.Addr().String()}, DialOptions{Timeout: 5 * time.Second}); err == nil {
+		t.Error("garbage server accepted as worker")
+	}
+
+	// A real worker receiving garbage closes the connection and keeps
+	// serving honest masters.
+	g := graph.GNP(50, 0.3, 3)
+	addrs := startWorkers(t, g, 1)
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("\xff\xff\xff\xff garbage"))
+	conn.Close()
+	tr, err := DialTCP(addrs, DialOptions{})
+	if err != nil {
+		t.Fatalf("worker unusable after garbage connection: %v", err)
+	}
+	defer tr.Close()
+	cfg := planFor(t, g, pattern.Triangle())
+	res, err := Run(cfg, g, Options{Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := cfg.Count(g, core.RunOptions{Workers: 1}); res.Count != want {
+		t.Errorf("count = %d, want %d", res.Count, want)
+	}
+}
+
+// TestTCPServeStopsOnClose: closing the listener ends Serve with no error.
+func TestTCPServeStopsOnClose(t *testing.T) {
+	g := graph.GNP(20, 0.2, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- Serve(ln, g, ServeOptions{Logf: t.Logf}) }()
+	ln.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v on clean close", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after listener close")
+	}
+}
+
+// TestMain keeps goroutine leaks from loopback fixtures bounded: nothing to
+// do beyond running the suite, but leaving the hook here documents that the
+// package's tests spin real listeners.
+func TestMain(m *testing.M) {
+	os.Exit(m.Run())
+}
+
+// TestTCPDialRejectsMixedReplicas: workers advertising different replicas
+// are rejected at dial time, before any job ships.
+func TestTCPDialRejectsMixedReplicas(t *testing.T) {
+	a := graph.BarabasiAlbert(200, 4, 5)
+	b := graph.BarabasiAlbert(201, 4, 5)
+	addrs := append(startWorkers(t, a, 1), startWorkers(t, b, 1)...)
+	if _, err := DialTCP(addrs, DialOptions{}); err == nil {
+		t.Fatal("workers with different replicas accepted at dial time")
+	} else if !strings.Contains(err.Error(), "different replicas") {
+		t.Errorf("error %q does not name the replica mismatch", err)
+	}
+}
+
+// TestTCPWorkerOverrideCounts: ServeOptions.Workers overrides the per-job
+// worker count; the master's TotalWorkers accounting sees the advertised
+// value and counts stay exact.
+func TestTCPWorkerOverrideCounts(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 4, 17)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go Serve(ln, g, ServeOptions{Workers: 3})
+	tr, err := DialTCP([]string{ln.Addr().String()}, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	if tw := tr.TotalWorkers(1, 8); tw != 3 {
+		t.Errorf("TotalWorkers = %d, want the advertised override 3", tw)
+	}
+	cfg := planFor(t, g, pattern.House())
+	want := cfg.Count(g, core.RunOptions{Workers: 1})
+	res, err := Run(cfg, g, Options{WorkersPerNode: 8, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Errorf("count = %d, want %d", res.Count, want)
+	}
+}

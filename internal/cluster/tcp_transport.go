@@ -1,0 +1,476 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphpi/internal/taskpool"
+)
+
+// This file is the master side of the TCP fabric. Each connected worker
+// process is one rank; the master deals initial queues, then acts as the
+// steal relay: a thief's request is forwarded as a steal-ask to the peer the
+// master believes richest, and the victim's surrendered half is forwarded
+// back. Relaying keeps the topology a star (workers only know the master),
+// at the cost of one extra hop per steal — the trade the paper's
+// master/communication-thread design also makes for task distribution.
+//
+// Termination argument: the relay tracks remaining[r], an upper bound on
+// rank r's queued tasks. It is exact at deal time and refreshed by every
+// steal frame (requests and gives carry the sender's true queue length);
+// between refreshes ranks only *run* tasks, so the bound never undershoots.
+// Tasks move between ranks only through the relay, which updates both sides.
+// Hence when every remaining[r] is zero no queued task exists anywhere and
+// the relay can safely answer noWork, which is the only way a multi-rank
+// worker stops — and every rank reaches that point because each empty-queue
+// rank keeps re-requesting (retry backoff) and each request refreshes its
+// reported length downward.
+
+// DialOptions tunes DialTCP.
+type DialOptions struct {
+	// Timeout bounds each worker dial + handshake (0 → 10s).
+	Timeout time.Duration
+}
+
+// tcpTransport is a Transport whose ranks are TCP-connected worker
+// processes. Create one with DialTCP; it can run many sequential jobs until
+// closed or until a job fails (a lost rank poisons the connection state, so
+// the transport refuses further jobs).
+type tcpTransport struct {
+	links  []*workerLink
+	broken atomic.Bool
+	closed atomic.Bool
+}
+
+// workerLink is one master↔worker connection.
+type workerLink struct {
+	addr string
+	conn net.Conn
+	br   *bufio.Reader
+	wmu  sync.Mutex
+
+	// advertised worker-count override and graph fingerprint from the
+	// welcome frame.
+	advWorkers int
+	fp         graphFingerprint
+}
+
+func (l *workerLink) write(typ uint8, payload []byte) error {
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	return writeFrame(l.conn, typ, payload)
+}
+
+// DialTCP connects to worker processes (cluster.Serve listeners) at addrs
+// and returns a Transport running jobs across them: one rank per worker.
+// Every worker must hold a replica of the data graph the jobs will use;
+// Connect verifies this per job via the graph fingerprint.
+func DialTCP(addrs []string, opt DialOptions) (Transport, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: DialTCP needs at least one worker address")
+	}
+	timeout := opt.Timeout
+	if timeout <= 0 {
+		timeout = handshakeTimeout
+	}
+	t := &tcpTransport{}
+	for _, addr := range addrs {
+		link, err := dialWorker(addr, timeout)
+		if err != nil {
+			t.Close()
+			return nil, fmt.Errorf("cluster: worker %s: %w", addr, err)
+		}
+		t.links = append(t.links, link)
+	}
+	// Workers must hold replicas of the same dataset; catching a divergent
+	// worker set here beats a per-job rejection later.
+	for _, l := range t.links[1:] {
+		if err := t.links[0].fp.check(l.fp); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("cluster: workers %s and %s hold different replicas: %w",
+				t.links[0].addr, l.addr, err)
+		}
+	}
+	return t, nil
+}
+
+func dialWorker(addr string, timeout time.Duration) (*workerLink, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	l := &workerLink{addr: addr, conn: conn, br: bufio.NewReader(conn)}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := l.write(msgHello, encodeHello()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, payload, err := readFrame(l.br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("handshake: %w", err)
+	}
+	switch typ {
+	case msgWelcome:
+	case msgError:
+		conn.Close()
+		return nil, fmt.Errorf("worker rejected handshake: %s", payload)
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("handshake: unexpected frame type %d", typ)
+	}
+	l.advWorkers, l.fp, err = decodeWelcome(payload)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Ranks always answers with the connected worker set — the caller's
+// requested node count does not conjure processes.
+func (t *tcpTransport) Ranks(int) int { return len(t.links) }
+
+// TotalWorkers sums each worker's advertised override, falling back to the
+// requested per-rank count for workers that defer to the master.
+func (t *tcpTransport) TotalWorkers(_, workersPerRank int) int {
+	total := 0
+	for _, l := range t.links {
+		if l.advWorkers > 0 {
+			total += l.advWorkers
+		} else {
+			total += workersPerRank
+		}
+	}
+	return total
+}
+
+// Addrs returns the connected worker addresses, in rank order.
+func (t *tcpTransport) Addrs() []string {
+	out := make([]string, len(t.links))
+	for i, l := range t.links {
+		out[i] = l.addr
+	}
+	return out
+}
+
+func (t *tcpTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	for _, l := range t.links {
+		if err := l.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (t *tcpTransport) Connect(job *Job, nranks int) (Session, error) {
+	if t.closed.Load() {
+		return nil, fmt.Errorf("cluster: transport closed")
+	}
+	if t.broken.Load() {
+		return nil, fmt.Errorf("cluster: transport unusable after a failed job; dial the workers again")
+	}
+	if nranks != len(t.links) {
+		return nil, fmt.Errorf("cluster: job wants %d ranks, transport has %d workers", nranks, len(t.links))
+	}
+	for i, l := range t.links {
+		if err := l.write(msgJob, encodeJob(jobSpecOf(job, i, nranks))); err != nil {
+			t.fail()
+			return nil, fmt.Errorf("cluster: worker %s: sending job: %w", l.addr, err)
+		}
+	}
+	// Collect per-worker accept/reject synchronously; a reject unwinds the
+	// whole job (peers that accepted are waiting for a deal that will
+	// never come, so the transport closes).
+	for _, l := range t.links {
+		typ, payload, err := readFrame(l.br)
+		if err != nil {
+			t.fail()
+			return nil, fmt.Errorf("cluster: worker %s: reading job reply: %w", l.addr, err)
+		}
+		switch typ {
+		case msgJobOK:
+		case msgError:
+			t.fail()
+			return nil, fmt.Errorf("cluster: worker %s rejected job: %s", l.addr, payload)
+		default:
+			t.fail()
+			return nil, fmt.Errorf("cluster: worker %s: unexpected job reply type %d", l.addr, typ)
+		}
+	}
+	return newTCPSession(t, job), nil
+}
+
+// fail poisons the transport and closes its connections: frame streams are
+// no longer aligned to job boundaries, so no further job can run safely.
+func (t *tcpTransport) fail() {
+	t.broken.Store(true)
+	t.Close()
+}
+
+// tcpEvent is one routed worker frame, tagged with its rank.
+type tcpEvent struct {
+	rank      int
+	kind      uint8 // msgStealReq, msgStealGive, msgResult; 0 for errors
+	remaining int
+	tasks     []taskpool.Range
+	res       RankResult
+	err       error
+}
+
+type tcpSession struct {
+	t   *tcpTransport
+	job *Job
+
+	// remaining is the relay's upper bound on each rank's queued tasks.
+	remaining []int
+	events    chan tcpEvent
+
+	started  atomic.Bool
+	finished bool
+	reduceCh chan struct{}
+	results  []RankResult
+	failErr  error
+}
+
+func newTCPSession(t *tcpTransport, job *Job) *tcpSession {
+	n := len(t.links)
+	return &tcpSession{
+		t:         t,
+		job:       job,
+		remaining: make([]int, n),
+		// Bounded in-flight events per rank: one steal request or reply,
+		// one result, one error. 4n never blocks a reader.
+		events:   make(chan tcpEvent, 4*n),
+		reduceCh: make(chan struct{}),
+		results:  make([]RankResult, n),
+	}
+}
+
+func (s *tcpSession) Deal(rankID int, tasks []taskpool.Range) error {
+	if s.started.Load() {
+		return fmt.Errorf("cluster: Deal after Start")
+	}
+	if err := s.t.links[rankID].write(msgTasks, encodeTasks(tasks)); err != nil {
+		s.t.fail()
+		return fmt.Errorf("cluster: worker %s: dealing tasks: %w", s.t.links[rankID].addr, err)
+	}
+	s.remaining[rankID] += len(tasks)
+	return nil
+}
+
+func (s *tcpSession) Start() error {
+	if s.started.Swap(true) {
+		return fmt.Errorf("cluster: session already started")
+	}
+	for _, l := range s.t.links {
+		if err := l.write(msgStart, nil); err != nil {
+			s.t.fail()
+			return fmt.Errorf("cluster: worker %s: starting: %w", l.addr, err)
+		}
+	}
+	for i, l := range s.t.links {
+		go s.readLoop(i, l)
+	}
+	go s.coordinate()
+	return nil
+}
+
+// readLoop routes one worker's frames into the relay. A rank's result is
+// always its last job frame (steal-gives can only be solicited while the
+// rank is unfinished), so the loop exits on it — leaving the connection
+// quiet for the next job.
+func (s *tcpSession) readLoop(rankID int, l *workerLink) {
+	for {
+		typ, payload, err := readFrame(l.br)
+		if err != nil {
+			s.events <- tcpEvent{rank: rankID, err: fmt.Errorf("worker %s disconnected: %w", l.addr, err)}
+			return
+		}
+		switch typ {
+		case msgStealReq:
+			rem, err := decodeRemaining(payload)
+			if err != nil {
+				s.events <- tcpEvent{rank: rankID, err: err}
+				return
+			}
+			s.events <- tcpEvent{rank: rankID, kind: msgStealReq, remaining: rem}
+		case msgStealGive:
+			rem, tasks, err := decodeStealGive(payload)
+			if err != nil {
+				s.events <- tcpEvent{rank: rankID, err: err}
+				return
+			}
+			s.events <- tcpEvent{rank: rankID, kind: msgStealGive, remaining: rem, tasks: tasks}
+		case msgResult:
+			res, err := decodeResult(payload)
+			if err != nil {
+				s.events <- tcpEvent{rank: rankID, err: err}
+				return
+			}
+			s.events <- tcpEvent{rank: rankID, kind: msgResult, res: res}
+			return
+		default:
+			s.events <- tcpEvent{rank: rankID, err: fmt.Errorf("worker %s: unexpected mid-job frame type %d", l.addr, typ)}
+			return
+		}
+	}
+}
+
+// coordinate is the steal relay: it serves thief requests one at a time and
+// records results until every rank reports (or one is lost).
+func (s *tcpSession) coordinate() {
+	defer close(s.reduceCh)
+	n := len(s.t.links)
+	done := make([]bool, n)
+	doneCount := 0
+	var queue []tcpEvent // thief requests parked while serving another
+
+	record := func(ev tcpEvent) bool {
+		switch {
+		case ev.err != nil:
+			s.failErr = ev.err
+			return false
+		case ev.kind == msgResult:
+			s.results[ev.rank] = ev.res
+			s.remaining[ev.rank] = 0
+			if !done[ev.rank] {
+				done[ev.rank] = true
+				doneCount++
+			}
+		}
+		return true
+	}
+
+	// serveThief answers one steal request, asking victims richest-first
+	// until one yields tasks or none can.
+	serveThief := func(req tcpEvent) bool {
+		thief := req.rank
+		s.remaining[thief] = req.remaining
+		for {
+			victim := -1
+			best := 1 // takeHalf yields nothing below 2 remaining
+			for i := 0; i < n; i++ {
+				if i != thief && s.remaining[i] > best {
+					best, victim = s.remaining[i], i
+				}
+			}
+			if victim < 0 {
+				break
+			}
+			if err := s.t.links[victim].write(msgStealAsk, nil); err != nil {
+				s.failErr = fmt.Errorf("worker %s: steal ask: %w", s.t.links[victim].addr, err)
+				return false
+			}
+			// Await the victim's give; park unrelated events.
+			gave := []taskpool.Range(nil)
+			for {
+				ev := <-s.events
+				if ev.kind == msgStealReq {
+					queue = append(queue, ev)
+					continue
+				}
+				if !record(ev) {
+					return false
+				}
+				if ev.kind == msgStealGive && ev.rank == victim {
+					s.remaining[victim] = ev.remaining
+					gave = ev.tasks
+					break
+				}
+			}
+			if len(gave) > 0 {
+				if err := s.t.links[thief].write(msgTasks, encodeTasks(gave)); err != nil {
+					s.failErr = fmt.Errorf("worker %s: steal grant: %w", s.t.links[thief].addr, err)
+					return false
+				}
+				s.remaining[thief] += len(gave)
+				return true
+			}
+		}
+		// Nothing to give. If every rank's bound is zero the job has
+		// globally drained; otherwise tell the thief to retry.
+		reply := msgRetry
+		total := 0
+		for _, r := range s.remaining {
+			total += r
+		}
+		if total == 0 {
+			reply = msgNoWork
+		}
+		if err := s.t.links[thief].write(reply, nil); err != nil {
+			s.failErr = fmt.Errorf("worker %s: steal reply: %w", s.t.links[thief].addr, err)
+			return false
+		}
+		return true
+	}
+
+	for doneCount < n && s.failErr == nil {
+		var ev tcpEvent
+		if len(queue) > 0 {
+			ev, queue = queue[0], queue[1:]
+		} else {
+			ev = <-s.events
+		}
+		if !record(ev) {
+			break
+		}
+		if ev.kind == msgStealReq {
+			if !serveThief(ev) {
+				break
+			}
+		}
+	}
+
+	if s.failErr != nil {
+		// A lost rank leaves peers blocked on steal replies and frame
+		// streams misaligned; poison the transport so everything
+		// unblocks and no further job reuses these connections.
+		s.t.fail()
+		return
+	}
+	for _, l := range s.t.links {
+		if err := l.write(msgJobDone, nil); err != nil {
+			s.failErr = fmt.Errorf("worker %s: job epilogue: %w", l.addr, err)
+			s.t.fail()
+			return
+		}
+	}
+}
+
+func (s *tcpSession) Reduce() ([]RankResult, error) {
+	if !s.started.Load() {
+		return nil, fmt.Errorf("cluster: Reduce before Start")
+	}
+	<-s.reduceCh
+	s.finished = true
+	if s.failErr != nil {
+		return nil, fmt.Errorf("cluster: %w", s.failErr)
+	}
+	return s.results, nil
+}
+
+// Close releases the session. A session abandoned mid-job (Started but not
+// Reduced) poisons the transport, since its connections carry unconsumed
+// frames.
+func (s *tcpSession) Close() error {
+	if s.started.Load() && !s.finished {
+		s.t.fail()
+	}
+	return nil
+}

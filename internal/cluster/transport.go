@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphpi/internal/core"
+	"graphpi/internal/graph"
+	"graphpi/internal/taskpool"
+)
+
+// This file defines the boundary between the cluster's scheduling policy and
+// its message plumbing. Run (cluster.go) owns policy: task packing, dealing
+// order, result aggregation. A Transport owns plumbing: how a dealt queue
+// reaches a rank, how steal request/response traffic moves between ranks,
+// and how partial counts reduce back to the master. Run never touches a
+// channel or a socket; swapping the in-process channel fabric for TCP worker
+// processes changes no scheduling behavior.
+
+// Job bundles everything a transport must convey to its ranks to execute one
+// counting job. The channel transport hands the pointers to in-process
+// goroutines; the TCP transport serializes the configuration (pattern,
+// schedule, restrictions) plus a fingerprint of the graph, and each worker
+// process rebuilds the Job against its own snapshot-loaded replica.
+type Job struct {
+	// Cfg is the compiled configuration every rank executes.
+	Cfg *core.Config
+	// Graph is the shared data graph (every rank holds a full replica, as
+	// in the paper's MPI implementation).
+	Graph *graph.Graph
+	// UseIEP tells ranks to run Inclusion-Exclusion counters. The final
+	// ScaleIEP correction is applied by the master, not the ranks.
+	UseIEP bool
+	// EdgeParallel is the resolved task shape: true when task ranges index
+	// CSR adjacency slots (Counter.CountEdgeRange), false when they index
+	// outermost-loop vertices (Counter.CountRange).
+	EdgeParallel bool
+	// WorkersPerRank is the number of worker goroutines each rank runs.
+	WorkersPerRank int
+	// StealThreshold is the queue length below which a rank requests work
+	// from its peers.
+	StealThreshold int
+	// NodeDelay artificially slows rank DelayedRank per task
+	// (failure/straggler injection for tests); 0 disables.
+	NodeDelay   time.Duration
+	DelayedRank int
+}
+
+// RankResult is one rank's partial outcome: the raw (pre-IEP-scaling) tally
+// of its workers plus its load-balance statistics.
+type RankResult struct {
+	Raw   int64
+	Stats NodeStats
+}
+
+// Transport moves cluster messages between the master and its ranks.
+// Implementations decide what a rank is — an in-process goroutine group
+// (chanTransport) or a TCP-connected worker process (tcpTransport).
+type Transport interface {
+	// Ranks resolves the rank count for a job when the caller requests n.
+	// The channel transport grants any n ≥ 1; the TCP transport always
+	// answers with its connected worker set.
+	Ranks(requested int) int
+	// TotalWorkers returns the cluster-wide worker count for a job on
+	// nranks ranks with workersPerRank requested per rank. Remote
+	// transports account for per-worker overrides (ServeOptions.Workers)
+	// advertised at join time, so the master's task granularity matches
+	// the workers that actually run.
+	TotalWorkers(nranks, workersPerRank int) int
+	// Connect opens a session for one job across nranks ranks. For remote
+	// transports this is where workers join the job (and where a
+	// config/graph mismatch surfaces as an error).
+	Connect(job *Job, nranks int) (Session, error)
+	// Close releases the transport. Remote workers observe it as a leave:
+	// their connections close and they return to accepting new masters.
+	Close() error
+}
+
+// Session is one job in flight on a transport.
+type Session interface {
+	// Deal appends tasks to a rank's initial queue. Only valid before
+	// Start.
+	Deal(rank int, tasks []taskpool.Range) error
+	// Start launches execution on every rank. From here until Reduce
+	// returns, steal request/response traffic flows inside the transport
+	// without master involvement from the caller's point of view.
+	Start() error
+	// Reduce blocks until every rank drains its work and returns the
+	// per-rank partial results, indexed by rank. It returns an error if a
+	// rank is lost (e.g. a TCP worker disconnects mid-job).
+	Reduce() ([]RankResult, error)
+	// Close releases the session. It must be safe to call after Reduce
+	// and after errors.
+	Close() error
+}
+
+// stealVerdict is the outcome of a rank's attempt to obtain more work once
+// its local queue runs dry.
+type stealVerdict int
+
+const (
+	// stealGot: tasks arrived (or the queue refilled concurrently); pop
+	// again.
+	stealGot stealVerdict = iota
+	// stealRetry: nothing available right now, but tasks are still in
+	// flight elsewhere and might become stealable; back off and retry.
+	stealRetry
+	// stealDone: the job has globally drained; the worker can exit.
+	stealDone
+)
+
+// rank is the queue state one rank maintains, shared by every transport:
+// the channel transport keeps N of these in the master process, the TCP
+// transport keeps one inside each worker process. Tasks are popped from the
+// front by the rank's own workers and stolen from the back by peers.
+type rank struct {
+	id    int
+	mu    sync.Mutex
+	queue []taskpool.Range
+	head  int
+
+	busyNS atomic.Int64
+	stats  NodeStats
+}
+
+func (n *rank) pop() (taskpool.Range, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.head >= len(n.queue) {
+		return taskpool.Range{}, false
+	}
+	t := n.queue[n.head]
+	n.head++
+	return t, true
+}
+
+func (n *rank) size() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue) - n.head
+}
+
+// takeHalf removes up to half of the remaining tasks from the back of the
+// queue (the victim side of a steal).
+func (n *rank) takeHalf() []taskpool.Range {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	remaining := len(n.queue) - n.head
+	if remaining <= 1 {
+		return nil
+	}
+	take := remaining / 2
+	cut := len(n.queue) - take
+	out := append([]taskpool.Range(nil), n.queue[cut:]...)
+	n.queue = n.queue[:cut]
+	return out
+}
+
+func (n *rank) push(tasks []taskpool.Range) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.queue = append(n.queue, tasks...)
+}
+
+// drain runs the rank's worker loop: nWorkers goroutines pop tasks, execute
+// them with per-worker core.Counters, and call steal when the queue runs
+// dry, until steal reports the job has globally drained. It returns the sum
+// of the workers' raw tallies. taskDone, if non-nil, is invoked after every
+// completed task (the channel fabric uses it to maintain its global pending
+// count). This loop is the policy of §IV-E's worker threads and is shared
+// verbatim by every transport.
+func (n *rank) drain(job *Job, nWorkers int, steal func() stealVerdict, taskDone func()) int64 {
+	raw := make([]int64, nWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			counter := core.NewCounter(job.Cfg, job.Graph, job.UseIEP)
+			defer func() { raw[slot] = counter.Raw() }()
+			for {
+				t, ok := n.pop()
+				if !ok {
+					switch steal() {
+					case stealGot:
+						continue
+					case stealRetry:
+						// Someone still runs tasks that might be
+						// re-stolen; yield briefly.
+						time.Sleep(50 * time.Microsecond)
+						continue
+					default:
+						return
+					}
+				}
+				if job.NodeDelay > 0 && n.id == job.DelayedRank {
+					// Injected slowness is deliberately not counted as
+					// busy time: BusyTime measures how the useful work
+					// spread across ranks, and a straggler's handicap
+					// shows up as fewer tasks executed.
+					time.Sleep(job.NodeDelay)
+				}
+				t0 := time.Now()
+				if job.EdgeParallel {
+					counter.CountEdgeRange(t.Start, t.End)
+				} else {
+					counter.CountRange(t.Start, t.End)
+				}
+				n.busyNS.Add(int64(time.Since(t0)))
+				atomic.AddInt64(&n.stats.TasksRun, 1)
+				if taskDone != nil {
+					taskDone()
+				}
+				// Yield between tasks so ranks interleave fairly even
+				// when the host has fewer cores than the cluster has
+				// workers; without this, one goroutine can drain every
+				// queue before its peers are scheduled — a shared-CPU
+				// artifact, not a property of §IV-E.
+				runtime.Gosched()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var sum int64
+	for _, c := range raw {
+		sum += c
+	}
+	return sum
+}
+
+// result snapshots the rank's partial outcome after drain returns.
+func (n *rank) result(raw int64) RankResult {
+	stats := NodeStats{
+		TasksRun:       atomic.LoadInt64(&n.stats.TasksRun),
+		StolenFrom:     atomic.LoadInt64(&n.stats.StolenFrom),
+		StealsReceived: atomic.LoadInt64(&n.stats.StealsReceived),
+		BusyTime:       time.Duration(n.busyNS.Load()),
+	}
+	return RankResult{Raw: raw, Stats: stats}
+}

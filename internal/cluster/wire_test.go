@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"graphpi/internal/graph"
+	"graphpi/internal/pattern"
+	"graphpi/internal/taskpool"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello world")
+	if err := writeFrame(&buf, msgTasks, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(&buf, msgStart, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := readFrame(&buf)
+	if err != nil || typ != msgTasks || !bytes.Equal(got, payload) {
+		t.Fatalf("frame 1: typ=%d payload=%q err=%v", typ, got, err)
+	}
+	typ, got, err = readFrame(&buf)
+	if err != nil || typ != msgStart || got != nil {
+		t.Fatalf("frame 2: typ=%d payload=%q err=%v", typ, got, err)
+	}
+}
+
+func TestFrameLengthBounds(t *testing.T) {
+	// Length 0 (no type byte) and an absurd length must both be rejected
+	// before any allocation.
+	for _, hdr := range [][]byte{
+		{0, 0, 0, 0, 0},
+		{0xff, 0xff, 0xff, 0x7f, 1},
+	} {
+		if _, _, err := readFrame(bytes.NewReader(hdr)); err == nil {
+			t.Errorf("header % x accepted", hdr)
+		}
+	}
+}
+
+func TestJobSpecRoundTrip(t *testing.T) {
+	g := graph.BarabasiAlbert(120, 3, 1)
+	cfg := planFor(t, g, pattern.House())
+	job := &Job{
+		Cfg:            cfg,
+		Graph:          g,
+		UseIEP:         true,
+		EdgeParallel:   true,
+		WorkersPerRank: 3,
+		StealThreshold: 2,
+		NodeDelay:      5 * time.Millisecond,
+		DelayedRank:    1,
+	}
+	spec := jobSpecOf(job, 2, 4)
+	decoded, err := decodeJob(encodeJob(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, decoded) {
+		t.Fatalf("round trip mismatch:\n  sent %+v\n  got  %+v", spec, decoded)
+	}
+	rebuilt, err := decoded.compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The planner's Cost is deliberately not shipped (workers execute, they
+	// don't re-plan); compare the executable parts.
+	if rebuilt.Cfg.Schedule.String() != cfg.Schedule.String() ||
+		rebuilt.Cfg.Restrictions.String() != cfg.Restrictions.String() ||
+		!rebuilt.Cfg.Pattern.Isomorphic(cfg.Pattern) {
+		t.Errorf("recompiled config %s != %s", rebuilt.Cfg, cfg)
+	}
+	if rebuilt.NodeDelay != job.NodeDelay || rebuilt.DelayedRank != job.DelayedRank ||
+		!rebuilt.UseIEP || !rebuilt.EdgeParallel || rebuilt.WorkersPerRank != 3 {
+		t.Errorf("job options lost: %+v", rebuilt)
+	}
+}
+
+// TestDecodersRejectTruncation feeds every strict prefix of valid payloads
+// to the decoders: each must error, never panic or silently succeed.
+func TestDecodersRejectTruncation(t *testing.T) {
+	g := graph.GNP(40, 0.3, 2)
+	cfg := planFor(t, g, pattern.Triangle())
+	job := &Job{Cfg: cfg, Graph: g, WorkersPerRank: 1, StealThreshold: 2}
+	tasks := []taskpool.Range{{Start: 0, End: 7}, {Start: 7, End: 40}}
+
+	cases := map[string]struct {
+		payload []byte
+		decode  func([]byte) error
+	}{
+		"job": {encodeJob(jobSpecOf(job, 0, 2)), func(b []byte) error {
+			_, err := decodeJob(b)
+			return err
+		}},
+		"tasks": {encodeTasks(tasks), func(b []byte) error {
+			_, err := decodeTasks(b)
+			return err
+		}},
+		"result": {encodeResult(RankResult{Raw: 42, Stats: NodeStats{TasksRun: 3}}), func(b []byte) error {
+			_, err := decodeResult(b)
+			return err
+		}},
+		"give": {encodeStealGive(3, tasks), func(b []byte) error {
+			_, _, err := decodeStealGive(b)
+			return err
+		}},
+		"welcome": {encodeWelcome(2, fingerprintOf(g)), func(b []byte) error {
+			_, _, err := decodeWelcome(b)
+			return err
+		}},
+		"hello": {encodeHello(), decodeHello},
+		"remaining": {encodeRemaining(9), func(b []byte) error {
+			_, err := decodeRemaining(b)
+			return err
+		}},
+	}
+	for name, tc := range cases {
+		if err := tc.decode(tc.payload); err != nil {
+			t.Errorf("%s: full payload rejected: %v", name, err)
+		}
+		for cut := 0; cut < len(tc.payload); cut++ {
+			if err := tc.decode(tc.payload[:cut]); err == nil {
+				t.Errorf("%s: prefix of %d/%d bytes accepted", name, cut, len(tc.payload))
+				break
+			}
+		}
+	}
+}
+
+func TestFingerprintCheck(t *testing.T) {
+	g := graph.BarabasiAlbert(100, 3, 4)
+	fp := fingerprintOf(g)
+	if err := fp.check(fp); err != nil {
+		t.Fatalf("self check failed: %v", err)
+	}
+	other := fingerprintOf(g.Reorder())
+	if err := fp.check(other); err == nil {
+		t.Error("reordered replica accepted for plain master graph")
+	}
+	// Unnamed sides are compatible with named ones (a generated master
+	// graph vs a snapshot that carries a label).
+	unnamed := fp
+	unnamed.Name = ""
+	named := fp
+	named.Name = "ds"
+	if err := unnamed.check(named); err != nil {
+		t.Errorf("unnamed master rejected named worker: %v", err)
+	}
+	other2 := named
+	other2.Name = "ds2"
+	if err := named.check(other2); err == nil {
+		t.Error("conflicting dataset names accepted")
+	}
+}

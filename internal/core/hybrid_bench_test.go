@@ -97,19 +97,19 @@ func BenchmarkHubBitmaps(b *testing.B) {
 		_ = n
 	}
 	b.Run("scalar/count", func(b *testing.B) {
-		g.BuildHubBitmaps(1) // budget too small for any bitmap
+		g.BuildHubBitmaps(1, 0) // budget too small for any bitmap
 		run(b, false)
 	})
 	b.Run("bitmap/count", func(b *testing.B) {
-		g.BuildHubBitmaps(64 << 20)
+		g.BuildHubBitmaps(64<<20, 0)
 		run(b, false)
 	})
 	b.Run("scalar/iep", func(b *testing.B) {
-		g.BuildHubBitmaps(1)
+		g.BuildHubBitmaps(1, 0)
 		run(b, true)
 	})
 	b.Run("bitmap/iep", func(b *testing.B) {
-		g.BuildHubBitmaps(64 << 20)
+		g.BuildHubBitmaps(64<<20, 0)
 		run(b, true)
 	})
 }
@@ -120,7 +120,7 @@ func BenchmarkHubBitmaps(b *testing.B) {
 func BenchmarkSeedVsHybrid(b *testing.B) {
 	orig := skewedGraph(b)
 	hyb := orig.Reorder()
-	hyb.BuildHubBitmaps(64 << 20)
+	hyb.BuildHubBitmaps(64<<20, 0)
 	for _, pat := range []*pattern.Pattern{pattern.Triangle(), pattern.House()} {
 		cfg := benchConfig(b, orig, pat)
 		b.Run(pat.Name()+"/seed", func(b *testing.B) {

@@ -32,7 +32,7 @@ func hybridTestGraphs(t *testing.T) []struct {
 		{"star", star, star.Reorder()},
 	}
 	for _, g := range out {
-		if k := g.hyb.BuildHubBitmaps(1 << 22); k == 0 && g.name != "gnm" {
+		if k := g.hyb.BuildHubBitmaps(1<<22, 0); k == 0 && g.name != "gnm" {
 			// The skewed fixtures must actually exercise the bitmap path.
 			if g.hyb.MaxDegree() >= 64 {
 				t.Fatalf("%s: no hubs built despite max degree %d", g.name, g.hyb.MaxDegree())
@@ -163,7 +163,7 @@ func TestDupCheckSkipsNothingRequired(t *testing.T) {
 		t.Fatalf("unrestricted path count = %d, want %d", got, want)
 	}
 	rg := g.Reorder()
-	rg.BuildHubBitmaps(1 << 22)
+	rg.BuildHubBitmaps(1<<22, 0)
 	if got := cfg.Count(rg, RunOptions{Workers: 3, EdgeParallel: EdgeParallelOn}); got != want {
 		t.Fatalf("hybrid unrestricted path count = %d, want %d", got, want)
 	}

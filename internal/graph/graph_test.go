@@ -282,7 +282,7 @@ func TestBinaryRoundTripOptimized(t *testing.T) {
 	g := BarabasiAlbert(500, 6, 21)
 	g.SetName("ba-fixture")
 	og := g.Reorder()
-	og.BuildHubBitmaps(1 << 20)
+	og.BuildHubBitmaps(1<<20, 0)
 	var buf bytes.Buffer
 	if err := WriteBinary(&buf, og); err != nil {
 		t.Fatal(err)

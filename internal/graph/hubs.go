@@ -12,9 +12,13 @@ import (
 // Bitmaps are an acceleration alongside the CSR lists, never a replacement:
 // hub vertices keep their sorted adjacency slices.
 
-// hubMinDegree is the smallest degree worth a bitmap: below it the scalar
-// kernels are already cheap and the bitmap's O(n/64) memory would be wasted.
-const hubMinDegree = 64
+// DefaultHubDegreeFloor is the smallest degree worth a bitmap when the
+// caller does not choose one: below it the scalar kernels are already cheap
+// and the bitmap's O(n/64) memory would be wasted. Workload-aware callers
+// (the ROADMAP's cost-model budget tuning) can lower the floor for
+// intersection-heavy schedules or raise it to reserve the budget for the
+// very top of the degree distribution.
+const DefaultHubDegreeFloor = 64
 
 // DefaultHubBudget is the bitmap memory budget BuildHubBitmaps applies when
 // the caller passes budget <= 0 (64 MiB — roughly 500 hub bitmaps on a
@@ -25,12 +29,13 @@ const DefaultHubBudget = 64 << 20
 // vertices by degree, with K chosen as the largest count keeping the total
 // hub memory — bitmaps plus the 4n-byte vertex index — within budgetBytes
 // (<= 0 → DefaultHubBudget), restricted to members with degree >=
-// hubMinDegree. It returns K. Calling it again replaces the previous hub
-// set. On a Reorder()ed graph the hubs are exactly the id prefix [0, K).
+// degreeFloor (<= 0 → DefaultHubDegreeFloor). It returns K. Calling it
+// again replaces the previous hub set. On a Reorder()ed graph the hubs are
+// exactly the id prefix [0, K).
 //
 // BuildHubBitmaps is not safe to call concurrently with readers; build the
 // hub set before sharing the graph across workers.
-func (g *Graph) BuildHubBitmaps(budgetBytes int64) int {
+func (g *Graph) BuildHubBitmaps(budgetBytes int64, degreeFloor int) int {
 	g.hubIdx, g.hubBits, g.hubWords, g.numHubs = nil, nil, 0, 0
 	n := g.NumVertices()
 	if n == 0 {
@@ -38,6 +43,9 @@ func (g *Graph) BuildHubBitmaps(budgetBytes int64) int {
 	}
 	if budgetBytes <= 0 {
 		budgetBytes = DefaultHubBudget
+	}
+	if degreeFloor <= 0 {
+		degreeFloor = DefaultHubDegreeFloor
 	}
 	words := vertexset.BitmapWords(n)
 	bytesPer := int64(words) * 8
@@ -62,7 +70,7 @@ func (g *Graph) BuildHubBitmaps(budgetBytes int64) int {
 		return order[i]
 	}
 	k := 0
-	for k < n && k < maxK && g.Degree(hubAt(k)) >= hubMinDegree {
+	for k < n && k < maxK && g.Degree(hubAt(k)) >= degreeFloor {
 		k++
 	}
 	if k == 0 {

@@ -3,6 +3,7 @@ package graph
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -178,6 +179,33 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	}
 }
 
+// readChunked reads count little-endian words, growing the result only as
+// fast as real file bytes arrive: a corrupt header claiming billions of
+// words costs one bounded buffer before the truncation error surfaces, not
+// a count-sized up-front allocation.
+func readChunked[T int64 | uint32](br *bufio.Reader, count int64, what string) ([]T, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("graph: negative %s length %d", what, count)
+	}
+	step := count
+	if step > adjChunkWords {
+		step = adjChunkWords
+	}
+	out := make([]T, 0, step)
+	buf := make([]T, step)
+	for int64(len(out)) < count {
+		k := count - int64(len(out))
+		if k > adjChunkWords {
+			k = adjChunkWords
+		}
+		if err := binary.Read(br, binary.LittleEndian, buf[:k]); err != nil {
+			return nil, fmt.Errorf("graph: reading %s: %w", what, err)
+		}
+		out = append(out, buf[:k]...)
+	}
+	return out, nil
+}
+
 // readBinaryV1 reads the legacy layout: n, offsets, adj. The old writer
 // emitted zero offset words for a zero-value graph (nil offsets), so n = 0
 // tolerates a missing offsets array.
@@ -186,13 +214,14 @@ func readBinaryV1(br *bufio.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	g := &Graph{offsets: make([]int64, n+1)}
-	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
-		if n == 0 && err == io.EOF {
+	offsets, err := readChunked[int64](br, n+1, "offsets")
+	if err != nil {
+		if n == 0 && errors.Is(err, io.EOF) {
 			return &Graph{}, nil
 		}
-		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+		return nil, err
 	}
+	g := &Graph{offsets: offsets}
 	if err := readAdjacency(br, g, n); err != nil {
 		return nil, err
 	}
@@ -224,9 +253,9 @@ func readBinaryV2(br *bufio.Reader) (*Graph, error) {
 	}
 	g := &Graph{name: string(name)}
 	if mapLen > 0 {
-		g.newToOld = make([]uint32, mapLen)
-		if err := binary.Read(br, binary.LittleEndian, g.newToOld); err != nil {
-			return nil, fmt.Errorf("graph: reading reorder map: %w", err)
+		g.newToOld, err = readChunked[uint32](br, mapLen, "reorder map")
+		if err != nil {
+			return nil, err
 		}
 		g.oldToNew = make([]uint32, mapLen)
 		seen := make([]bool, mapLen)
@@ -245,15 +274,15 @@ func readBinaryV2(br *bufio.Reader) (*Graph, error) {
 	if hubBytes < 0 {
 		return nil, fmt.Errorf("graph: negative hub budget %d", hubBytes)
 	}
-	g.offsets = make([]int64, n+1)
-	if err := binary.Read(br, binary.LittleEndian, g.offsets); err != nil {
-		return nil, fmt.Errorf("graph: reading offsets: %w", err)
+	g.offsets, err = readChunked[int64](br, n+1, "offsets")
+	if err != nil {
+		return nil, err
 	}
 	if err := readAdjacency(br, g, n); err != nil {
 		return nil, err
 	}
 	if hubBytes > 0 {
-		g.BuildHubBitmaps(hubBytes)
+		g.BuildHubBitmaps(hubBytes, 0)
 	}
 	return g, nil
 }
@@ -269,17 +298,40 @@ func readCount(br *bufio.Reader) (int64, error) {
 	return n, nil
 }
 
-// readAdjacency reads the adjacency array sized by the already-read offsets
-// and validates the CSR invariants.
+// adjChunkWords bounds how much adjacency is allocated per read step, so a
+// corrupt offsets array claiming an enormous edge count produces a truncated-
+// file error instead of a giant up-front allocation (or a makeslice panic).
+const adjChunkWords = 1 << 20
+
+// readAdjacency validates the already-read offsets, then reads the adjacency
+// array they size — incrementally, so the allocation only ever grows as fast
+// as real file bytes arrive — and checks the CSR invariants.
 func readAdjacency(br *bufio.Reader, g *Graph, n int64) error {
+	if n > 0 && g.offsets[0] != 0 {
+		return fmt.Errorf("graph: offsets must start at 0, got %d", g.offsets[0])
+	}
+	for v := int64(0); v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at vertex %d", v)
+		}
+	}
 	total := g.offsets[n]
 	if total < 0 {
 		return fmt.Errorf("graph: negative adjacency length %d", total)
 	}
-	g.adj = make([]uint32, total)
-	if err := binary.Read(br, binary.LittleEndian, g.adj); err != nil {
-		return fmt.Errorf("graph: reading adjacency: %w", err)
+	// Each undirected edge occupies two slots and the graph is simple, so
+	// the adjacency can never exceed n*(n-1) slots. Only check when the
+	// product cannot overflow int64 (n ≤ √2⁶³); beyond that any int64
+	// total is below the true bound anyway.
+	const maxExactN = 3037000499
+	if n > 0 && n <= maxExactN && total > n*(n-1) {
+		return fmt.Errorf("graph: adjacency length %d impossible for %d vertices", total, n)
 	}
+	adj, err := readChunked[uint32](br, total, "adjacency")
+	if err != nil {
+		return err
+	}
+	g.adj = adj
 	if err := g.Validate(); err != nil {
 		return fmt.Errorf("graph: corrupt snapshot: %w", err)
 	}

@@ -71,7 +71,7 @@ func TestReorderEmpty(t *testing.T) {
 func TestBuildHubBitmaps(t *testing.T) {
 	// A star graph plus noise guarantees one very high degree vertex.
 	g := BarabasiAlbert(2000, 4, 11).Reorder()
-	k := g.BuildHubBitmaps(1 << 20)
+	k := g.BuildHubBitmaps(1<<20, 0)
 	if k < 1 {
 		t.Fatalf("expected at least one hub, got %d", k)
 	}
@@ -102,10 +102,10 @@ func TestBuildHubBitmaps(t *testing.T) {
 			t.Fatalf("hub %d bitmap population %d != degree %d", v, pop, len(nb))
 		}
 	}
-	// Degree floor: no hub below hubMinDegree.
+	// Degree floor: no hub below the default degree floor.
 	for v := 0; v < k; v++ {
-		if g.Degree(uint32(v)) < hubMinDegree {
-			t.Fatalf("hub %d has degree %d < %d", v, g.Degree(uint32(v)), hubMinDegree)
+		if g.Degree(uint32(v)) < DefaultHubDegreeFloor {
+			t.Fatalf("hub %d has degree %d < %d", v, g.Degree(uint32(v)), DefaultHubDegreeFloor)
 		}
 	}
 }
@@ -115,7 +115,7 @@ func TestBuildHubBitmapsBudget(t *testing.T) {
 	words := vertexset.BitmapWords(g.NumVertices())
 	// Budget covers the mandatory 4n index plus exactly 3 bitmaps.
 	budget := int64(g.NumVertices())*4 + int64(words)*8*3
-	k := g.BuildHubBitmaps(budget)
+	k := g.BuildHubBitmaps(budget, 0)
 	if k > 3 {
 		t.Fatalf("budget allows 3 bitmaps, got %d", k)
 	}
@@ -126,7 +126,7 @@ func TestBuildHubBitmapsBudget(t *testing.T) {
 		t.Fatalf("hub memory %d exceeds budget %d", got, budget)
 	}
 	// Budget too small for the index plus one bitmap → no hubs.
-	if k := g.BuildHubBitmaps(int64(g.NumVertices())*4 + int64(words)*8 - 1); k != 0 {
+	if k := g.BuildHubBitmaps(int64(g.NumVertices())*4+int64(words)*8-1, 0); k != 0 {
 		t.Fatalf("sub-bitmap budget produced %d hubs", k)
 	}
 	if g.HubBitmap(0) != nil {

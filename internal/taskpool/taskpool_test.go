@@ -155,11 +155,11 @@ func TestAdaptiveChunk(t *testing.T) {
 		want                            int
 	}{
 		{n: 64000, workers: 10, perWorker: 64, min: 1, max: 1024, want: 100},
-		{n: 10, workers: 4, perWorker: 64, min: 1, max: 1024, want: 1},     // floor
+		{n: 10, workers: 4, perWorker: 64, min: 1, max: 1024, want: 1},        // floor
 		{n: 1 << 30, workers: 1, perWorker: 1, min: 1, max: 1024, want: 1024}, // cap
 		{n: 1 << 30, workers: 1, perWorker: 1, min: 1, max: 0, want: 1 << 30}, // uncapped
-		{n: 100, workers: 0, perWorker: 0, min: 0, max: 0, want: 100},      // degenerate inputs normalize
-		{n: 1000, workers: 2, perWorker: 16, min: 40, max: 0, want: 40},    // min applies
+		{n: 100, workers: 0, perWorker: 0, min: 0, max: 0, want: 100},         // degenerate inputs normalize
+		{n: 1000, workers: 2, perWorker: 16, min: 40, max: 0, want: 40},       // min applies
 	}
 	for _, c := range cases {
 		if got := AdaptiveChunk(c.n, c.workers, c.perWorker, c.min, c.max); got != c.want {
