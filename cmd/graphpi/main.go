@@ -8,22 +8,36 @@
 //	graphpi -dataset Orkut-S -pattern house -iep -nodes 4 -node-workers 2
 //
 // Distributed mode runs the same jobs across TCP worker processes that each
-// hold a replica of the data graph (share a GPiCSR2 snapshot):
+// hold a replica of the data graph (share a GPiCSR3 snapshot):
 //
 //	graphpi -graph data.bin -serve :9421                 # on each worker
 //	graphpi -graph data.bin -pattern house -iep \
 //	        -join host1:9421,host2:9421                  # on the master
 //
+// Server mode holds the graph resident and answers count/enumerate queries
+// over HTTP with a plan cache, admission control and cancellable jobs (see
+// the README's "Serving queries" quickstart):
+//
+//	graphpi -graph data.bin -hybrid -server :8080
+//	graphpi -graph data.bin -server :8080 -cluster-workers host1:9421,host2:9421
+//
+// The process is exactly one of: a one-shot query (default), a cluster
+// worker (-serve), a cluster master (-join), or a query server (-server);
+// combining those flags is an error, never a silent preference.
+//
 // Patterns can be named (triangle, rectangle, pentagon, house, cycle6tri,
-// p1..p6, k4..k7) or given as an n:adjacency-matrix string. The tool prints
+// p1..p6, k3..k12) or given as an n:adjacency-matrix string. The tool prints
 // the chosen configuration (schedule + restrictions), the preprocessing
 // time, and the result.
+//
+// Exit codes: 0 on success, 1 on a runtime failure (I/O, network, job
+// errors), 2 on a usage error (bad flags or flag combinations — the same
+// code the flag package uses for parse failures).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"strconv"
@@ -38,12 +52,12 @@ func main() {
 		graphPath   = flag.String("graph", "", "edge-list or binary graph file")
 		datasetName = flag.String("dataset", "", "built-in synthetic dataset ("+strings.Join(graphpi.DatasetNames(), ", ")+")")
 		scale       = flag.Float64("scale", 1.0, "dataset scale factor")
-		patName     = flag.String("pattern", "triangle", "named pattern (triangle, rectangle, pentagon, house, cycle6tri, p1..p6, k3..k7)")
+		patName     = flag.String("pattern", "triangle", "named pattern (triangle, rectangle, pentagon, house, cycle6tri, p1..p6, k3..k12)")
 		patAdj      = flag.String("pattern-adj", "", "pattern as n:rowmajor01matrix, overrides -pattern")
 		useIEP      = flag.Bool("iep", false, "count with the Inclusion-Exclusion Principle")
 		list        = flag.Bool("list", false, "list embeddings instead of counting")
 		limit       = flag.Int64("limit", 20, "max embeddings to list with -list")
-		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS; with -serve, 0 = honor the master)")
+		workers     = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS; with -serve, 0 = honor the master; with -server, the shared job worker budget)")
 		hybrid      = flag.Bool("hybrid", false, "run on the degree-ordered, bitmap-accelerated hybrid adjacency view")
 		hubBudget   = flag.Int64("hub-budget", 0, "hub bitmap memory budget in bytes with -hybrid (0 = 64 MiB default)")
 		hubFloor    = flag.Int("hub-floor", 0, "minimum degree for a hub bitmap with -hybrid (0 = default 64)")
@@ -53,16 +67,39 @@ func main() {
 		nodeWorkers = flag.Int("node-workers", 2, "worker goroutines per simulated node with -nodes")
 		serveAddr   = flag.String("serve", "", "run as a cluster worker process listening on this address (e.g. :9421)")
 		joinAddrs   = flag.String("join", "", "count across these comma-separated cluster worker addresses")
+		serverAddr  = flag.String("server", "", "run as a resident HTTP query server listening on this address (e.g. :8080)")
+		clusterWk   = flag.String("cluster-workers", "", "with -server: dispatch counting queries across these comma-separated cluster worker addresses")
+		graphName   = flag.String("graph-name", "", "with -server: name the resident graph is served under (default: its dataset name, or \"default\")")
+		maxJobs     = flag.Int("max-jobs", 0, "with -server: max concurrently executing queries (0 = 2)")
+		maxQueue    = flag.Int("max-queue", 0, "with -server: max queries waiting for a slot before 429s (0 = 64)")
+		cacheBytes  = flag.Int64("plan-cache", 0, "with -server: plan cache budget in bytes (0 = 8 MiB)")
 		emitGo      = flag.String("emit-go", "", "write standalone Go source for the planned configuration to this path and exit")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*nodes, *nodeWorkers, *hubFloor, *serveAddr, *joinAddrs); err != nil {
-		fail(err)
+	if err := validateFlags(flagState{
+		nodes:       *nodes,
+		nodeWorkers: *nodeWorkers,
+		hubFloor:    *hubFloor,
+		maxJobs:     *maxJobs,
+		maxQueue:    *maxQueue,
+		cacheBytes:  *cacheBytes,
+		serveAddr:   *serveAddr,
+		joinAddrs:   *joinAddrs,
+		serverAddr:  *serverAddr,
+		clusterWk:   *clusterWk,
+		list:        *list,
+		emitGo:      *emitGo,
+	}); err != nil {
+		failUsage(err)
 	}
-	workerAddrs, err := parseJoinList(*joinAddrs)
+	workerAddrs, err := parseAddrList("-join", *joinAddrs)
 	if err != nil {
-		fail(err)
+		failUsage(err)
+	}
+	clusterAddrs, err := parseAddrList("-cluster-workers", *clusterWk)
+	if err != nil {
+		failUsage(err)
 	}
 
 	g, err := loadGraph(*graphPath, *datasetName, *scale)
@@ -77,6 +114,18 @@ func main() {
 			time.Since(prep).Round(time.Microsecond))
 	}
 
+	if *serverAddr != "" {
+		runServer(*serverAddr, g, serverOptions{
+			name:         *graphName,
+			clusterAddrs: clusterAddrs,
+			nodeWorkers:  *nodeWorkers,
+			workers:      *workers,
+			maxJobs:      *maxJobs,
+			maxQueue:     *maxQueue,
+			cacheBytes:   *cacheBytes,
+		})
+		return
+	}
 	if *serveAddr != "" {
 		runServe(*serveAddr, g, *workers)
 		return
@@ -84,7 +133,7 @@ func main() {
 
 	p, err := loadPattern(*patName, *patAdj)
 	if err != nil {
-		fail(err)
+		failUsage(err)
 	}
 	fmt.Printf("pattern: %s\n", p)
 
@@ -99,12 +148,9 @@ func main() {
 	case "off":
 		opts = append(opts, graphpi.WithEdgeParallelRoots(false))
 	default:
-		fail(fmt.Errorf("-edge-parallel must be auto, on or off, got %q", *edgePar))
+		failUsage(fmt.Errorf("-edge-parallel must be auto, on or off, got %q", *edgePar))
 	}
 	if *nodes > 0 || len(workerAddrs) > 0 {
-		if *list || *emitGo != "" {
-			fail(fmt.Errorf("cluster modes count only; they cannot be combined with -list or -emit-go"))
-		}
 		if *workers != 0 {
 			fmt.Fprintln(os.Stderr, "graphpi: -workers is ignored in cluster modes; use -node-workers")
 		}
@@ -149,53 +195,158 @@ func main() {
 	}
 }
 
-// validateFlags rejects unusable combinations up front, instead of panicking
-// later or silently normalizing a value the user explicitly set.
-func validateFlags(nodes, nodeWorkers, hubFloor int, serveAddr, joinAddrs string) error {
-	if nodes < 0 {
-		return fmt.Errorf("-nodes must be >= 1 (or omitted for a single process), got %d", nodes)
+// flagState carries the mode-relevant flags into validateFlags (testable
+// without a flag.FlagSet).
+type flagState struct {
+	nodes, nodeWorkers, hubFloor     int
+	maxJobs, maxQueue                int
+	cacheBytes                       int64
+	serveAddr, joinAddrs, serverAddr string
+	clusterWk, emitGo                string
+	list                             bool
+}
+
+// validateFlags rejects unusable combinations up front, instead of
+// panicking later or silently picking one of two requested modes.
+func validateFlags(f flagState) error {
+	if f.nodes < 0 {
+		return fmt.Errorf("-nodes must be >= 1 (or omitted for a single process), got %d", f.nodes)
 	}
-	if nodes > 0 && nodeWorkers < 1 {
-		return fmt.Errorf("-node-workers must be >= 1, got %d", nodeWorkers)
+	if f.nodes > 0 && f.nodeWorkers < 1 {
+		return fmt.Errorf("-node-workers must be >= 1, got %d", f.nodeWorkers)
 	}
-	if hubFloor < 0 {
-		return fmt.Errorf("-hub-floor must be >= 0, got %d", hubFloor)
+	if f.hubFloor < 0 {
+		return fmt.Errorf("-hub-floor must be >= 0, got %d", f.hubFloor)
 	}
-	if serveAddr != "" && joinAddrs != "" {
-		return fmt.Errorf("-serve and -join are mutually exclusive: a process is a worker or a master")
+	if f.maxJobs < 0 {
+		return fmt.Errorf("-max-jobs must be >= 0 (0 = default), got %d", f.maxJobs)
 	}
-	if serveAddr != "" {
-		if _, _, err := net.SplitHostPort(serveAddr); err != nil {
-			return fmt.Errorf("-serve address %q is not host:port: %v", serveAddr, err)
+	if f.maxQueue < 0 {
+		return fmt.Errorf("-max-queue must be >= 0 (0 = default), got %d", f.maxQueue)
+	}
+	if f.cacheBytes < 0 {
+		return fmt.Errorf("-plan-cache must be >= 0 (0 = default), got %d", f.cacheBytes)
+	}
+
+	// A process runs exactly one mode. Name every conflicting pair so the
+	// message says what to drop.
+	modes := []struct {
+		flag, val string
+	}{
+		{"-server", f.serverAddr},
+		{"-serve", f.serveAddr},
+		{"-join", f.joinAddrs},
+	}
+	var active []string
+	for _, m := range modes {
+		if m.val != "" {
+			active = append(active, m.flag)
 		}
 	}
-	if joinAddrs != "" && nodes > 0 {
-		return fmt.Errorf("-nodes and -join are mutually exclusive: with -join the node count is the worker list")
+	if len(active) > 1 {
+		return fmt.Errorf("%s are mutually exclusive: a process is a query server (-server), a cluster worker (-serve) or a cluster master (-join)",
+			strings.Join(active, " and "))
+	}
+
+	for _, addr := range []struct{ flag, val string }{
+		{"-server", f.serverAddr}, {"-serve", f.serveAddr},
+	} {
+		if addr.val == "" {
+			continue
+		}
+		if _, _, err := net.SplitHostPort(addr.val); err != nil {
+			return fmt.Errorf("%s address %q is not host:port: %v", addr.flag, addr.val, err)
+		}
+	}
+
+	if f.clusterWk != "" && f.serverAddr == "" {
+		return fmt.Errorf("-cluster-workers only applies to -server mode (use -join for a one-shot distributed count)")
+	}
+	if f.nodes > 0 && (f.serverAddr != "" || f.serveAddr != "" || f.joinAddrs != "") {
+		return fmt.Errorf("-nodes (simulated cluster) cannot be combined with -server, -serve or -join")
+	}
+	if f.list || f.emitGo != "" {
+		switch {
+		case f.serverAddr != "":
+			return fmt.Errorf("-server cannot be combined with -list or -emit-go (use the /enumerate endpoint)")
+		case f.serveAddr != "":
+			return fmt.Errorf("-serve cannot be combined with -list or -emit-go")
+		case f.joinAddrs != "" || f.nodes > 0:
+			return fmt.Errorf("cluster modes count only; they cannot be combined with -list or -emit-go")
+		}
 	}
 	return nil
 }
 
-// parseJoinList splits and validates the -join address list.
-func parseJoinList(joinAddrs string) ([]string, error) {
-	if joinAddrs == "" {
+// parseAddrList splits and validates a comma-separated host:port list.
+func parseAddrList(flagName, addrs string) ([]string, error) {
+	if addrs == "" {
 		return nil, nil
 	}
 	var out []string
-	for _, part := range strings.Split(joinAddrs, ",") {
+	for _, part := range strings.Split(addrs, ",") {
 		addr := strings.TrimSpace(part)
 		if addr == "" {
-			return nil, fmt.Errorf("-join list %q contains an empty address", joinAddrs)
+			return nil, fmt.Errorf("%s list %q contains an empty address", flagName, addrs)
 		}
 		host, port, err := net.SplitHostPort(addr)
 		if err != nil {
-			return nil, fmt.Errorf("-join address %q is not host:port: %v", addr, err)
+			return nil, fmt.Errorf("%s address %q is not host:port: %v", flagName, addr, err)
 		}
 		if host == "" || port == "" {
-			return nil, fmt.Errorf("-join address %q needs both host and port", addr)
+			return nil, fmt.Errorf("%s address %q needs both host and port", flagName, addr)
 		}
 		out = append(out, addr)
 	}
 	return out, nil
+}
+
+// serverOptions carries the -server flags into runServer.
+type serverOptions struct {
+	name         string
+	clusterAddrs []string
+	nodeWorkers  int
+	workers      int
+	maxJobs      int
+	maxQueue     int
+	cacheBytes   int64
+}
+
+// runServer turns this process into the resident query service: it holds
+// the loaded graph in memory and answers HTTP queries until killed.
+func runServer(addr string, g *graphpi.Graph, opt serverOptions) {
+	name := opt.name
+	if name == "" {
+		name = g.Name()
+	}
+	if name == "" {
+		name = "default"
+	}
+	srv, err := graphpi.ServeQueries(addr, graphpi.QueryServiceOptions{
+		Graphs:                map[string]*graphpi.Graph{name: g},
+		MaxConcurrentJobs:     opt.maxJobs,
+		MaxQueuedJobs:         opt.maxQueue,
+		TotalWorkers:          opt.workers,
+		PlanCacheBytes:        opt.cacheBytes,
+		ClusterWorkers:        opt.clusterAddrs,
+		ClusterWorkersPerNode: opt.nodeWorkers,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	backend := "local engine"
+	if len(opt.clusterAddrs) > 0 {
+		backend = fmt.Sprintf("cluster of %d workers", len(opt.clusterAddrs))
+	}
+	fmt.Printf("query server: graph %q resident on %s, counting on the %s (Ctrl-C to stop)\n",
+		name, srv.Addr(), backend)
+	fmt.Printf("  try: curl 'http://%s/count?graph=%s&pattern=house'\n", srv.Addr(), name)
+	if err := srv.Wait(); err != nil {
+		fail(err)
+	}
 }
 
 // runServe turns this process into a cluster worker: it blocks serving
@@ -207,7 +358,7 @@ func runServe(addr string, g *graphpi.Graph, workerOverride int) {
 	}
 	fmt.Printf("cluster worker: serving %s on %s (Ctrl-C to stop)\n", g.Name(), srv.Addr())
 	if err := srv.Wait(); err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 }
 
@@ -266,28 +417,22 @@ func loadPattern(name, adj string) (*graphpi.Pattern, error) {
 		}
 		return graphpi.PatternFromAdjacency(n, parts[1], "custom")
 	}
-	evals := graphpi.EvaluationPatterns()
-	switch strings.ToLower(name) {
-	case "triangle":
-		return graphpi.Triangle(), nil
-	case "rectangle":
-		return graphpi.Rectangle(), nil
-	case "pentagon":
-		return graphpi.Pentagon(), nil
-	case "house":
-		return graphpi.House(), nil
-	case "cycle6tri":
-		return graphpi.Cycle6Tri(), nil
-	case "p1", "p2", "p3", "p4", "p5", "p6":
-		return evals[name[1]-'1'], nil
-	case "k3", "k4", "k5", "k6", "k7":
-		return graphpi.Clique(int(name[1] - '0')), nil
-	default:
-		return nil, fmt.Errorf("unknown pattern %q", name)
-	}
+	return graphpi.NamedPattern(name)
 }
+
+// Exit codes, unified across every mode: 1 for runtime failures, 2 for
+// usage errors (matching the flag package's own parse-failure exit).
+const (
+	exitRuntime = 1
+	exitUsage   = 2
+)
 
 func fail(err error) {
 	fmt.Fprintln(os.Stderr, "graphpi:", err)
-	os.Exit(1)
+	os.Exit(exitRuntime)
+}
+
+func failUsage(err error) {
+	fmt.Fprintln(os.Stderr, "graphpi:", err)
+	os.Exit(exitUsage)
 }

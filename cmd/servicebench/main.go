@@ -1,0 +1,185 @@
+// Command servicebench measures the query service's two headline numbers:
+// how much latency the plan cache removes from a repeat query (cold versus
+// cached planning), and how many cached counting queries per second one
+// resident server sustains over real HTTP — the PR 4 perf trajectory CI
+// tracks in BENCH_pr4.json alongside the transport benches.
+//
+// Run with:
+//
+//	go run ./cmd/servicebench -out BENCH_pr4.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"graphpi"
+)
+
+type patternResult struct {
+	Pattern      string  `json:"pattern"`
+	Count        int64   `json:"count"`
+	ColdPlanMS   float64 `json:"cold_plan_ms"`
+	CachedPlanMS float64 `json:"cached_plan_ms"`
+	PlanSpeedup  float64 `json:"plan_speedup"`
+	ColdMS       float64 `json:"cold_total_ms"`
+	CachedMS     float64 `json:"cached_total_ms"`
+}
+
+type report struct {
+	Bench     string          `json:"bench"`
+	Graph     string          `json:"graph"`
+	Vertices  int             `json:"vertices"`
+	Edges     int64           `json:"edges"`
+	GoMaxProc int             `json:"gomaxprocs"`
+	When      time.Time       `json:"when"`
+	Patterns  []patternResult `json:"patterns"`
+	// CountQPS is sustained cached-count throughput over HTTP (triangle
+	// queries, the cheapest execution, so the service overhead dominates).
+	CountQPS     float64 `json:"count_qps"`
+	QPSQueries   int     `json:"qps_queries"`
+	QPSClients   int     `json:"qps_clients"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+type countResponse struct {
+	Count   int64   `json:"count"`
+	Cache   string  `json:"cache"`
+	PlanSec float64 `json:"plan_seconds"`
+	ExecSec float64 `json:"exec_seconds"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_pr4.json", "output JSON path")
+		n       = flag.Int("n", 20000, "BA graph vertices")
+		m       = flag.Int("m", 5, "BA edges per vertex")
+		queries = flag.Int("qps-queries", 400, "queries for the QPS measurement")
+		clients = flag.Int("qps-clients", 8, "concurrent QPS clients")
+	)
+	flag.Parse()
+
+	g := graphpi.GenerateBA(*n, *m, 4242).Optimize(0)
+	srv, err := graphpi.ServeQueries("127.0.0.1:0", graphpi.QueryServiceOptions{
+		Graphs:            map[string]*graphpi.Graph{"ba": g},
+		MaxConcurrentJobs: *clients,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	rep := report{
+		Bench:      "pr4-query-service",
+		Graph:      fmt.Sprintf("BA(n=%d, m=%d, seed=4242)", *n, *m),
+		Vertices:   g.NumVertices(),
+		Edges:      g.NumEdges(),
+		GoMaxProc:  runtime.GOMAXPROCS(0),
+		When:       time.Now().UTC(),
+		QPSQueries: *queries,
+		QPSClients: *clients,
+	}
+
+	query := func(pattern string) (countResponse, float64) {
+		t0 := time.Now()
+		resp, err := http.Get(base + "/count?graph=ba&pattern=" + pattern)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var cr countResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("count %s: status %d", pattern, resp.StatusCode)
+		}
+		return cr, float64(time.Since(t0).Microseconds()) / 1000
+	}
+
+	// Cold vs cached planning latency per pattern.
+	for _, p := range []string{"house", "pentagon", "p3", "p4"} {
+		cold, coldMS := query(p)
+		if cold.Cache != "miss" {
+			log.Fatalf("%s: first query was a %s", p, cold.Cache)
+		}
+		cached, cachedMS := query(p)
+		if cached.Cache != "hit" || cached.Count != cold.Count {
+			log.Fatalf("%s: cached query mismatch: %+v vs %+v", p, cached, cold)
+		}
+		pr := patternResult{
+			Pattern:      p,
+			Count:        cold.Count,
+			ColdPlanMS:   cold.PlanSec * 1000,
+			CachedPlanMS: cached.PlanSec * 1000,
+			ColdMS:       coldMS,
+			CachedMS:     cachedMS,
+		}
+		if cached.PlanSec > 0 {
+			pr.PlanSpeedup = cold.PlanSec / cached.PlanSec
+		}
+		rep.Patterns = append(rep.Patterns, pr)
+		fmt.Printf("%-10s count=%-12d plan cold %8.3fms cached %8.5fms total cold %8.1fms cached %8.1fms\n",
+			p, pr.Count, pr.ColdPlanMS, pr.CachedPlanMS, pr.ColdMS, pr.CachedMS)
+	}
+
+	// Sustained cached-count QPS: triangle (cheap execution) across
+	// concurrent clients, everything a cache hit after warmup.
+	query("triangle")
+	var wg sync.WaitGroup
+	per := *queries / *clients
+	t0 := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				resp, err := http.Get(base + "/count?graph=ba&pattern=triangle")
+				if err != nil {
+					log.Fatal(err)
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+	total := per * *clients
+	rep.CountQPS = float64(total) / elapsed.Seconds()
+
+	var metrics struct {
+		HitRate float64 `json:"cache_hit_rate"`
+	}
+	resp, err := http.Get(base + "/metrics")
+	if err == nil {
+		json.NewDecoder(resp.Body).Decode(&metrics)
+		resp.Body.Close()
+	}
+	rep.CacheHitRate = metrics.HitRate
+	fmt.Printf("cached-count QPS: %.0f (%d queries, %d clients, hit rate %.3f)\n",
+		rep.CountQPS, total, *clients, rep.CacheHitRate)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

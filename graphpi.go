@@ -27,12 +27,12 @@
 package graphpi
 
 import (
-	"bufio"
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
-	"os"
-	"strings"
+	"net/http"
 	"time"
 
 	"graphpi/internal/approx"
@@ -43,6 +43,7 @@ import (
 	"graphpi/internal/graph"
 	"graphpi/internal/labeled"
 	"graphpi/internal/pattern"
+	"graphpi/internal/service"
 )
 
 // Graph is an immutable undirected data graph in CSR form.
@@ -91,7 +92,8 @@ func (g *Graph) Optimize(hubMemBudgetBytes int64) *Graph {
 // with degree >= hubDegreeFloor are eligible for an adjacency bitset
 // (<= 0 → the default floor of 64). Lowering the floor trades budget for
 // coverage on flatter degree distributions; snapshots of the view persist
-// the budget but rebuild with the default floor on load.
+// both the budget and the floor, so SaveBinary/LoadGraph round trips
+// rebuild the same hub set.
 func (g *Graph) OptimizeHubs(hubMemBudgetBytes int64, hubDegreeFloor int) *Graph {
 	og := g.g.Reorder()
 	og.BuildHubBitmaps(hubMemBudgetBytes, hubDegreeFloor)
@@ -114,23 +116,9 @@ func NewGraph(n int, edges [][2]uint32) (*Graph, error) {
 // LoadGraph reads a graph from disk, auto-detecting the binary snapshot
 // format (written by SaveBinary) versus whitespace edge-list text.
 func LoadGraph(path string) (*Graph, error) {
-	f, err := os.Open(path)
+	gg, err := graph.LoadAnyFile(path)
 	if err != nil {
 		return nil, err
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	head, _ := br.Peek(7)
-	if strings.HasPrefix(string(head), "GPiCSR") {
-		gg, err := graph.ReadBinary(br)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return &Graph{g: gg}, nil
-	}
-	gg, err := graph.ReadEdgeList(br)
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &Graph{g: gg}, nil
 }
@@ -144,12 +132,12 @@ func ReadGraph(r io.Reader) (*Graph, error) {
 	return &Graph{g: gg}, nil
 }
 
-// SaveBinary writes the fast binary snapshot format (GPiCSR2). Snapshots of
-// an Optimize()d graph persist the degree-ordered id maps and the hub-bitmap
-// budget, so the hybrid view's Reorder cost is paid once per dataset:
-// LoadGraph restores the view (bitmaps are rebuilt, not stored) and
-// Enumerate keeps reporting original vertex ids. Snapshots written by the
-// previous release (GPiCSR1) still load.
+// SaveBinary writes the fast binary snapshot format (GPiCSR3). Snapshots of
+// an Optimize()d graph persist the degree-ordered id maps, the hub-bitmap
+// budget and the hub degree floor, so the hybrid view's Reorder cost is
+// paid once per dataset: LoadGraph restores the view (bitmaps are rebuilt,
+// not stored) and Enumerate keeps reporting original vertex ids. Snapshots
+// written by previous releases (GPiCSR1/GPiCSR2) still load.
 func (g *Graph) SaveBinary(path string) error { return graph.SaveBinaryFile(path, g.g) }
 
 // LoadDataset builds one of the six named synthetic stand-in datasets
@@ -229,6 +217,28 @@ func Cycle6Tri() *Pattern { return &Pattern{p: pattern.Cycle6Tri()} }
 
 // Clique returns the complete pattern K_n (n ≤ 12).
 func Clique(n int) *Pattern { return &Pattern{p: pattern.Clique(n)} }
+
+// NamedPattern resolves a pattern by name, case-insensitively: the worked
+// examples (triangle, rectangle, pentagon, house, cycle6tri), the
+// evaluation suite p1..p6, and cliques k3..k12 — the names the CLI and the
+// query service accept.
+func NamedPattern(name string) (*Pattern, error) {
+	pp, err := pattern.Named(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{p: pp}, nil
+}
+
+// ParsePattern resolves a pattern spec: a NamedPattern name or the
+// "n:rowmajor01matrix" adjacency form.
+func ParsePattern(spec string) (*Pattern, error) {
+	pp, err := pattern.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Pattern{p: pp}, nil
+}
 
 // EvaluationPatterns returns P1–P6, the suite used throughout the paper's
 // evaluation section.
@@ -341,6 +351,26 @@ func (pl *Plan) Enumerate(visit func(embedding []uint32) bool) int64 {
 	return pl.cfg.Enumerate(pl.g.g, pl.runOptions(), visit)
 }
 
+// CountCtx is Count under a context: cancellation stops every worker at its
+// next outer-loop boundary, freeing the goroutines long before the full
+// search would end. The partial tally is returned with ctx's error; a nil
+// error means the count ran to completion and is exact.
+func (pl *Plan) CountCtx(ctx context.Context) (int64, error) {
+	return pl.cfg.CountCtx(ctx, pl.g.g, pl.runOptions())
+}
+
+// CountIEPCtx is CountIEP under a context (see CountCtx).
+func (pl *Plan) CountIEPCtx(ctx context.Context) (int64, error) {
+	return pl.cfg.CountIEPCtx(ctx, pl.g.g, pl.runOptions())
+}
+
+// EnumerateCtx is Enumerate under a context: after cancellation no further
+// visits happen and the workers are released. Returns the number of visits
+// that did happen alongside ctx's error.
+func (pl *Plan) EnumerateCtx(ctx context.Context, visit func(embedding []uint32) bool) (int64, error) {
+	return pl.cfg.EnumerateCtx(ctx, pl.g.g, pl.runOptions(), visit)
+}
+
 // PrepTime returns the preprocessing (configuration generation plus
 // performance prediction) duration — the paper's Table III quantity.
 func (pl *Plan) PrepTime() time.Duration { return pl.prep }
@@ -428,7 +458,7 @@ type ClusterOptions struct {
 	// listeners, or `graphpi -serve`). When non-empty, ClusterCount dials
 	// them for the run instead of simulating nodes in-process; every
 	// worker must hold a replica of the same graph (typically loaded from
-	// a shared GPiCSR2 snapshot). For repeated counts against the same
+	// a shared GPiCSR3 snapshot). For repeated counts against the same
 	// workers, dial once with ConnectCluster instead.
 	Workers []string
 }
@@ -570,7 +600,7 @@ type Cluster struct {
 // ConnectCluster dials worker processes at addrs (see ServeCluster and
 // `graphpi -serve`) and returns a handle running jobs across them, one
 // rank per worker. Every worker must hold a replica of the data graph a job
-// uses — typically loaded from a shared GPiCSR2 snapshot — and the graph's
+// uses — typically loaded from a shared GPiCSR3 snapshot — and the graph's
 // fingerprint is verified per job.
 func ConnectCluster(addrs ...string) (*Cluster, error) {
 	tr, err := cluster.DialTCP(addrs, cluster.DialOptions{})
@@ -628,3 +658,105 @@ func (s *ClusterServer) Wait() error { return <-s.done }
 // Close stops accepting masters. Jobs in flight fail their masters'
 // connections.
 func (s *ClusterServer) Close() error { return s.ln.Close() }
+
+// QueryServiceOptions configures ServeQueries, the resident query server.
+type QueryServiceOptions struct {
+	// Graphs are the resident graphs, by name. Optimize them before
+	// registering; they are treated as immutable once served.
+	Graphs map[string]*Graph
+	// MaxConcurrentJobs bounds simultaneously executing queries (0 → 2).
+	MaxConcurrentJobs int
+	// MaxQueuedJobs bounds queries waiting for a run slot; beyond it the
+	// server answers 429 (0 → 64).
+	MaxQueuedJobs int
+	// TotalWorkers is the worker-goroutine budget local jobs share
+	// (0 → GOMAXPROCS).
+	TotalWorkers int
+	// WorkersPerJob is the default per-job worker budget
+	// (0 → TotalWorkers / MaxConcurrentJobs).
+	WorkersPerJob int
+	// PlanCacheBytes is the plan cache budget (0 → 8 MiB).
+	PlanCacheBytes int64
+	// ClusterWorkers lists TCP cluster worker addresses (ServeCluster /
+	// `graphpi -serve` listeners). When set, counting queries dispatch to
+	// the cluster by default; every worker must hold a replica of the
+	// resident graph a query targets.
+	ClusterWorkers []string
+	// ClusterWorkersPerNode is the per-rank worker count for dispatched
+	// jobs (0 → 2).
+	ClusterWorkersPerNode int
+	// Logf, if non-nil, receives lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+// QueryServer is a running query service (the facade over
+// internal/service): an HTTP server with count/enumerate/jobs/metrics
+// endpoints, a plan cache, admission control, and cancellable jobs. See the
+// README's "Serving queries" quickstart for the endpoint reference.
+type QueryServer struct {
+	ln   net.Listener
+	s    *service.Server
+	http *http.Server
+	done chan error
+}
+
+// ServeQueries starts a query service listening on addr (e.g. ":8080", or
+// "127.0.0.1:0" for an ephemeral port). The server runs on a background
+// goroutine; use Addr to learn the bound address, Wait to block until
+// shutdown, and Close to stop.
+func ServeQueries(addr string, opt QueryServiceOptions) (*QueryServer, error) {
+	s := service.New(service.Options{
+		MaxConcurrent:         opt.MaxConcurrentJobs,
+		MaxQueue:              opt.MaxQueuedJobs,
+		TotalWorkers:          opt.TotalWorkers,
+		WorkersPerJob:         opt.WorkersPerJob,
+		CacheBytes:            opt.PlanCacheBytes,
+		ClusterAddrs:          opt.ClusterWorkers,
+		ClusterWorkersPerNode: opt.ClusterWorkersPerNode,
+		Logf:                  opt.Logf,
+	})
+	for name, g := range opt.Graphs {
+		if err := s.AddGraph(name, g.g); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	qs := &QueryServer{
+		ln:   ln,
+		s:    s,
+		http: &http.Server{Handler: s.Handler()},
+		done: make(chan error, 1),
+	}
+	go func() {
+		err := qs.http.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed) {
+			err = nil
+		}
+		qs.done <- err
+	}()
+	return qs, nil
+}
+
+// Addr returns the listener's address ("host:port").
+func (q *QueryServer) Addr() string { return q.ln.Addr().String() }
+
+// Handler exposes the service's HTTP API for embedding into an existing
+// mux or test server.
+func (q *QueryServer) Handler() http.Handler { return q.s.Handler() }
+
+// Wait blocks until the server stops and returns its terminal error.
+func (q *QueryServer) Wait() error { return <-q.done }
+
+// Close stops the listener, closes active connections — in-flight jobs
+// observe their request contexts cancelling and release their workers —
+// and releases backend resources.
+func (q *QueryServer) Close() error {
+	err := q.http.Close()
+	q.s.Close()
+	return err
+}

@@ -1,10 +1,16 @@
 package graphpi
 
 import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -521,5 +527,137 @@ func TestOptimizeHubsFacade(t *testing.T) {
 		if got != want {
 			t.Errorf("%s: count = %d, want %d", name, got, want)
 		}
+	}
+}
+
+// TestPlanConcurrentUse: one Plan shared by many goroutines running Count,
+// CountIEP and Enumerate simultaneously must stay correct — the compiled
+// configuration is read-only at execution time and all mutable state is
+// per-run. (The query service relies on exactly this: one cached plan
+// serves every concurrent job.) Run under -race.
+func TestPlanConcurrentUse(t *testing.T) {
+	g := GenerateBA(400, 5, 13)
+	plan, err := NewPlan(g, House(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.CountIEP()
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			switch i % 3 {
+			case 0:
+				if got := plan.Count(); got != want {
+					errs <- fmt.Errorf("goroutine %d: Count = %d, want %d", i, got, want)
+				}
+			case 1:
+				if got := plan.CountIEP(); got != want {
+					errs <- fmt.Errorf("goroutine %d: CountIEP = %d, want %d", i, got, want)
+				}
+			default:
+				var n atomic.Int64
+				if got := plan.Enumerate(func([]uint32) bool { n.Add(1); return true }); got != want || n.Load() != want {
+					errs <- fmt.Errorf("goroutine %d: Enumerate = %d visits %d, want %d", i, got, n.Load(), want)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestPlanCtxFacade covers the facade's context methods: complete runs
+// agree with the plain methods; a pre-cancelled context returns promptly
+// with the context error.
+func TestPlanCtxFacade(t *testing.T) {
+	g := GenerateBA(300, 4, 21)
+	plan, err := NewPlan(g, Pentagon(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.CountIEP()
+	if got, err := plan.CountIEPCtx(context.Background()); err != nil || got != want {
+		t.Fatalf("CountIEPCtx = %d, %v; want %d, nil", got, err, want)
+	}
+	if got, err := plan.CountCtx(context.Background()); err != nil || got != want {
+		t.Fatalf("CountCtx = %d, %v; want %d, nil", got, err, want)
+	}
+	var visits atomic.Int64
+	if got, err := plan.EnumerateCtx(context.Background(), func([]uint32) bool { visits.Add(1); return true }); err != nil || got != want {
+		t.Fatalf("EnumerateCtx = %d, %v; want %d, nil", got, err, want)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if got, err := plan.CountCtx(ctx); err != context.Canceled || got != 0 {
+		t.Fatalf("pre-cancelled CountCtx = %d, %v", got, err)
+	}
+}
+
+// TestQueryServiceFacade drives ServeQueries end to end: a resident graph
+// served over a real socket, a cold and a cached count, and a named-pattern
+// parse — the README quickstart, as a test.
+func TestQueryServiceFacade(t *testing.T) {
+	g := GenerateBA(400, 5, 17).Optimize(1 << 20)
+	srv, err := ServeQueries("127.0.0.1:0", QueryServiceOptions{
+		Graphs: map[string]*Graph{"ba": g},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	want, err := Count(g, House())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Count int64  `json:"count"`
+		Cache string `json:"cache"`
+	}
+	for i, wantCache := range []string{"miss", "hit"} {
+		resp, err := http.Get("http://" + srv.Addr() + "/count?graph=ba&pattern=house")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if res.Count != want || res.Cache != wantCache {
+			t.Fatalf("query %d: count %d cache %q, want %d %q", i, res.Count, res.Cache, want, wantCache)
+		}
+	}
+}
+
+// TestNamedPatternFacade pins the shared pattern-name resolution.
+func TestNamedPatternFacade(t *testing.T) {
+	for name, wantN := range map[string]int{
+		"house": 5, "HOUSE": 5, "p3": 6, "k4": 4, "cycle6tri": 6, "k12": 12,
+	} {
+		p, err := NamedPattern(name)
+		if err != nil {
+			t.Errorf("NamedPattern(%q): %v", name, err)
+			continue
+		}
+		if p.N() != wantN {
+			t.Errorf("NamedPattern(%q).N() = %d, want %d", name, p.N(), wantN)
+		}
+	}
+	for _, bad := range []string{"zigzag", "k2", "k13", "p7", ""} {
+		if _, err := NamedPattern(bad); err == nil {
+			t.Errorf("NamedPattern(%q) accepted", bad)
+		}
+	}
+	p, err := ParsePattern("3:011101110")
+	if err != nil || p.N() != 3 || p.NumEdges() != 3 {
+		t.Fatalf("ParsePattern adjacency = %v, %v", p, err)
 	}
 }

@@ -117,7 +117,7 @@ func (s *chanSession) Start() error {
 		s.workWG.Add(1)
 		go func(i int, nd *chanRank) {
 			defer s.workWG.Done()
-			s.raw[i] = nd.drain(s.job, s.job.WorkersPerRank,
+			s.raw[i] = nd.drain(s.job, s.job.WorkersPerRank, nil,
 				func() stealVerdict { return s.steal(nd) },
 				func() { s.pending.Add(-1) })
 		}(i, nd)

@@ -174,6 +174,12 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 	readerDone := make(chan struct{})
 	var readerErr error
 	var jobDone atomic.Bool
+	// lost flips when the master's connection dies mid-job. It is handed to
+	// the drain loop as the workers' stop flag: a master that cancelled the
+	// job (or crashed) frees this rank's cores within one outer-loop
+	// boundary instead of leaving them counting for a client that will
+	// never read the result.
+	var lost atomic.Bool
 
 	// The communication thread: serve steal-asks from the master's relay
 	// and route steal replies to the steal agent, until the master closes
@@ -184,6 +190,7 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 			typ, payload, err := readFrame(br)
 			if err != nil {
 				readerErr = fmt.Errorf("mid-job read: %w", err)
+				lost.Store(true)
 				return
 			}
 			switch typ {
@@ -192,12 +199,14 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 				atomic.AddInt64(&rk.stats.StolenFrom, int64(len(tasks)))
 				if err := c.write(msgStealGive, encodeStealGive(rk.size(), tasks)); err != nil {
 					readerErr = err
+					lost.Store(true)
 					return
 				}
 			case msgTasks:
 				ts, err := decodeTasks(payload)
 				if err != nil {
 					readerErr = err
+					lost.Store(true)
 					return
 				}
 				rk.push(ts)
@@ -211,6 +220,7 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 				return
 			default:
 				readerErr = fmt.Errorf("unexpected mid-job frame type %d", typ)
+				lost.Store(true)
 				return
 			}
 		}
@@ -252,7 +262,7 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 		}
 	}
 
-	raw := rk.drain(job, job.WorkersPerRank, steal, nil)
+	raw := rk.drain(job, job.WorkersPerRank, &lost, steal, nil)
 
 	if err := c.write(msgResult, encodeResult(rk.result(raw))); err != nil {
 		<-readerDone

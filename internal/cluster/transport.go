@@ -169,16 +169,21 @@ func (n *rank) push(tasks []taskpool.Range) {
 // dry, until steal reports the job has globally drained. It returns the sum
 // of the workers' raw tallies. taskDone, if non-nil, is invoked after every
 // completed task (the channel fabric uses it to maintain its global pending
-// count). This loop is the policy of §IV-E's worker threads and is shared
+// count). stop, if non-nil, aborts the rank cooperatively: once set, the
+// per-worker Counters abandon their current range at the next outer-loop
+// boundary and remaining queued tasks fall through as no-ops — the TCP
+// worker sets it when its master disconnects, so a cancelled or crashed
+// client frees the rank's cores instead of leaving them finishing dead
+// work. This loop is the policy of §IV-E's worker threads and is shared
 // verbatim by every transport.
-func (n *rank) drain(job *Job, nWorkers int, steal func() stealVerdict, taskDone func()) int64 {
+func (n *rank) drain(job *Job, nWorkers int, stop *atomic.Bool, steal func() stealVerdict, taskDone func()) int64 {
 	raw := make([]int64, nWorkers)
 	var wg sync.WaitGroup
 	for w := 0; w < nWorkers; w++ {
 		wg.Add(1)
 		go func(slot int) {
 			defer wg.Done()
-			counter := core.NewCounter(job.Cfg, job.Graph, job.UseIEP)
+			counter := core.NewCounterStop(job.Cfg, job.Graph, job.UseIEP, stop)
 			defer func() { raw[slot] = counter.Raw() }()
 			for {
 				t, ok := n.pop()

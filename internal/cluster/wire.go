@@ -243,6 +243,17 @@ func decodeFingerprint(r *rbuf) graphFingerprint {
 	}
 }
 
+// FingerprintKey renders the handshake fingerprint of a graph as a stable
+// string: |V|, adjacency slot count, the degree-ordered flag and the dataset
+// name — exactly the identity the TCP fabric uses to verify that a master
+// and a worker hold the same replica. Resident runtimes (the query service)
+// reuse it as the graph component of their plan-cache keys, so a cache entry
+// can never outlive the graph identity it was planned against.
+func FingerprintKey(g *graph.Graph) string {
+	fp := fingerprintOf(g)
+	return fmt.Sprintf("v%d:s%d:r%t:%s", fp.NumVertices, fp.NumAdjSlots, fp.Reordered, fp.Name)
+}
+
 // jobSpec is the wire form of a Job: the configuration is shipped as its
 // inputs (pattern, schedule, restrictions) and recompiled by core.NewConfig
 // on the worker — compilation is deterministic, so both sides execute the

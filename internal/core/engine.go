@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"time"
 
@@ -46,6 +48,13 @@ type RunOptions struct {
 	// (the experiment harness's equivalent of the paper's 48-hour "T"
 	// cutoff). Use the *Timed variants to learn whether a run completed.
 	Budget time.Duration
+	// Context, when non-nil, cancels the run cooperatively: every worker
+	// observes cancellation at its next outer-loop vertex (or edge-slot
+	// group) boundary and returns, so taskpool goroutines are freed within
+	// one chunk even when the full search would run for minutes. A
+	// cancelled run reports complete=false from the *Timed variants; use
+	// the *Ctx methods to get the context error directly.
+	Context context.Context
 }
 
 func (o RunOptions) chunk(n, workers int) int {
@@ -109,6 +118,48 @@ func (c *Config) CountIEP(g *graph.Graph, opt RunOptions) int64 {
 	return n
 }
 
+// ErrBudgetExceeded reports that a *Ctx run was aborted by RunOptions.Budget
+// rather than by its context.
+var ErrBudgetExceeded = errors.New("core: run budget exceeded")
+
+// ctxErr maps a run's outcome to the error the *Ctx methods return: the
+// context's error when it was cancelled, ErrBudgetExceeded when the budget
+// timer aborted the run, nil only when the run truly completed.
+func ctxErr(ctx context.Context, complete bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if !complete {
+		return ErrBudgetExceeded
+	}
+	return nil
+}
+
+// CountCtx is Count under a context: the run stops cooperatively when ctx
+// is cancelled and the (partial) tally is returned alongside ctx's error.
+// A nil error means the count ran to completion and is exact.
+func (c *Config) CountCtx(ctx context.Context, g *graph.Graph, opt RunOptions) (int64, error) {
+	opt.Context = ctx
+	n, complete := c.execute(g, opt, false, nil)
+	return n, ctxErr(ctx, complete)
+}
+
+// CountIEPCtx is CountIEP under a context (see CountCtx).
+func (c *Config) CountIEPCtx(ctx context.Context, g *graph.Graph, opt RunOptions) (int64, error) {
+	opt.Context = ctx
+	n, complete := c.execute(g, opt, true, nil)
+	return n, ctxErr(ctx, complete)
+}
+
+// EnumerateCtx is Enumerate under a context: cancellation stops every worker
+// at its next boundary and no further visits happen after that point. The
+// returned tally counts the visits that did happen; the error is ctx's.
+func (c *Config) EnumerateCtx(ctx context.Context, g *graph.Graph, opt RunOptions, visit func([]uint32) bool) (int64, error) {
+	opt.Context = ctx
+	n, complete := c.execute(g, opt, false, visit)
+	return n, ctxErr(ctx, complete)
+}
+
 // Enumerate invokes visit for every embedding found. The slice passed to
 // visit is indexed by original pattern vertex and reused between calls —
 // copy it to retain. Embeddings are reported in original vertex ids even on
@@ -143,13 +194,28 @@ func (c *Config) execute(g *graph.Graph, opt RunOptions, useIEP bool, visit func
 	}
 	workers := taskpool.Workers(opt.Workers)
 	runners := make([]*runner, workers)
-	var stop, timedOut atomic.Bool
+	var stop, aborted atomic.Bool
 	if opt.Budget > 0 {
 		timer := time.AfterFunc(opt.Budget, func() {
-			timedOut.Store(true)
+			aborted.Store(true)
 			stop.Store(true)
 		})
 		defer timer.Stop()
+	}
+	if ctx := opt.Context; ctx != nil {
+		if ctx.Err() != nil {
+			return 0, false
+		}
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				aborted.Store(true)
+				stop.Store(true)
+			case <-watchDone:
+			}
+		}()
 	}
 	edgePar := c.EdgeParallelEligible(useIEP) &&
 		opt.EdgeParallel != EdgeParallelOff &&
@@ -184,7 +250,7 @@ func (c *Config) execute(g *graph.Graph, opt RunOptions, useIEP bool, visit func
 	if useIEP && c.effectiveIEPK() >= 1 {
 		total = total * c.iepNum / c.iepDen
 	}
-	return total, !timedOut.Load()
+	return total, !aborted.Load()
 }
 
 // effectiveIEPK returns the IEP suffix actually usable at run time (0 when
@@ -207,6 +273,16 @@ type Counter struct {
 // NewCounter creates a Counter bound to a configuration and graph.
 func NewCounter(cfg *Config, g *graph.Graph, useIEP bool) *Counter {
 	return &Counter{r: newRunner(cfg, g, useIEP, nil, nil), useIEP: useIEP}
+}
+
+// NewCounterStop is NewCounter with a shared stop flag: once stop becomes
+// true the Counter abandons its current range at the next outer-loop
+// boundary and every later CountRange/CountEdgeRange call returns
+// immediately. A stopped Counter's tally is partial — the flag exists so an
+// external runtime (a cluster worker whose master disconnected, a cancelled
+// service job) can free its workers without finishing dead work.
+func NewCounterStop(cfg *Config, g *graph.Graph, useIEP bool, stop *atomic.Bool) *Counter {
+	return &Counter{r: newRunner(cfg, g, useIEP, nil, stop), useIEP: useIEP}
 }
 
 // CountRange processes outer-loop vertices [start, end) and adds matches to

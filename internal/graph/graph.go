@@ -42,6 +42,10 @@ type Graph struct {
 	hubBits  []uint64
 	hubWords int
 	numHubs  int
+	// hubFloor is the degree floor the current hub set was built with
+	// (0 until BuildHubBitmaps runs); snapshots persist it so reloads
+	// rebuild the same hub set even for non-default floors.
+	hubFloor int
 
 	triOnce sync.Once
 	tri     int64 // cached triangle count

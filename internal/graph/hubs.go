@@ -36,7 +36,7 @@ const DefaultHubBudget = 64 << 20
 // BuildHubBitmaps is not safe to call concurrently with readers; build the
 // hub set before sharing the graph across workers.
 func (g *Graph) BuildHubBitmaps(budgetBytes int64, degreeFloor int) int {
-	g.hubIdx, g.hubBits, g.hubWords, g.numHubs = nil, nil, 0, 0
+	g.hubIdx, g.hubBits, g.hubWords, g.numHubs, g.hubFloor = nil, nil, 0, 0, 0
 	n := g.NumVertices()
 	if n == 0 {
 		return 0
@@ -47,6 +47,7 @@ func (g *Graph) BuildHubBitmaps(budgetBytes int64, degreeFloor int) int {
 	if degreeFloor <= 0 {
 		degreeFloor = DefaultHubDegreeFloor
 	}
+	g.hubFloor = degreeFloor
 	words := vertexset.BitmapWords(n)
 	bytesPer := int64(words) * 8
 	// The per-vertex index table costs 4n bytes whenever any hub exists;
@@ -97,6 +98,11 @@ func (g *Graph) BuildHubBitmaps(budgetBytes int64, degreeFloor int) int {
 // NumHubs returns the number of vertices with a precomputed adjacency
 // bitmap (0 when BuildHubBitmaps has not run).
 func (g *Graph) NumHubs() int { return g.numHubs }
+
+// HubDegreeFloor returns the degree floor the current hub set was built
+// with (0 when BuildHubBitmaps has not run). Snapshots persist it so a
+// non-default floor survives a save/load round trip.
+func (g *Graph) HubDegreeFloor() int { return g.hubFloor }
 
 // HubBitmap returns the adjacency bitset of v, or nil when v has none. The
 // bitmap aliases the graph's storage and must not be modified.

@@ -85,30 +85,38 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// Binary snapshot versions. GPiCSR1 (the previous release) stores only the
+// Binary snapshot versions. GPiCSR1 (two releases back) stores only the
 // raw CSR arrays; GPiCSR2 adds the dataset name, the degree-ordered reorder
 // map of an Optimize()d graph (so a reloaded graph's Enumerate still reports
-// original vertex ids) and the hub-bitmap budget. Hub bitmaps themselves are
-// rebuilt on load, not stored: they are cheap to reconstruct and their packed
-// form would dominate the file. WriteBinary always emits GPiCSR2; ReadBinary
-// accepts both.
+// original vertex ids) and the hub-bitmap budget; GPiCSR3 adds the hub
+// degree floor, so a view tuned with OptimizeHubs no longer silently
+// rebuilds with the default floor on load. Hub bitmaps themselves are
+// rebuilt on load, not stored: they are cheap to reconstruct and their
+// packed form would dominate the file. WriteBinary always emits GPiCSR3;
+// ReadBinary accepts all three.
 const (
 	binaryMagicV1 = "GPiCSR1\n"
-	binaryMagic   = "GPiCSR2\n"
+	binaryMagicV2 = "GPiCSR2\n"
+	binaryMagic   = "GPiCSR3\n"
 
 	// maxSnapshotName bounds the stored dataset-name length so a corrupt
 	// header cannot drive a huge allocation.
 	maxSnapshotName = 1 << 16
+
+	// maxSnapshotHubFloor bounds the stored hub degree floor; no vertex can
+	// have a degree above MaxVertices, so anything larger is corruption.
+	maxSnapshotHubFloor = int64(MaxVertices)
 )
 
-// WriteBinary writes the graph in the little-endian GPiCSR2 snapshot layout:
+// WriteBinary writes the graph in the little-endian GPiCSR3 snapshot layout:
 //
-//	magic "GPiCSR2\n"
+//	magic "GPiCSR3\n"
 //	n        int64            vertex count
 //	nameLen  int64            + nameLen bytes of dataset name
 //	mapLen   int64            0, or n for a reordered graph
 //	newToOld [mapLen]uint32   new→old id map (old→new is reconstructed)
 //	hubBytes int64            hub-bitmap memory to rebuild on load (0 = none)
+//	hubFloor int64            hub degree floor to rebuild with (0 = default)
 //	offsets  [n+1]int64       always present, even for n = 0
 //	adj      [offsets[n]]uint32
 func WriteBinary(w io.Writer, g *Graph) error {
@@ -135,14 +143,18 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if err := binary.Write(bw, binary.LittleEndian, g.newToOld); err != nil {
 		return err
 	}
-	var hubBytes int64
+	var hubBytes, hubFloor int64
 	if g.numHubs > 0 {
 		// HubMemoryBytes is exactly the budget BuildHubBitmaps needs to
-		// reproduce the same hub count on load.
+		// reproduce the same hub count on load; the floor must ride along
+		// or a tuned view would rebuild against the default.
 		hubBytes = g.HubMemoryBytes()
+		hubFloor = int64(g.hubFloor)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, hubBytes); err != nil {
-		return err
+	for _, v := range []int64{hubBytes, hubFloor} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
 	}
 	offsets := g.offsets
 	if offsets == nil {
@@ -172,8 +184,10 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	switch string(magic) {
 	case binaryMagicV1:
 		return readBinaryV1(br)
+	case binaryMagicV2:
+		return readBinaryV2(br, false)
 	case binaryMagic:
-		return readBinaryV2(br)
+		return readBinaryV2(br, true)
 	default:
 		return nil, fmt.Errorf("graph: bad magic %q", magic)
 	}
@@ -228,7 +242,11 @@ func readBinaryV1(br *bufio.Reader) (*Graph, error) {
 	return g, nil
 }
 
-func readBinaryV2(br *bufio.Reader) (*Graph, error) {
+// readBinaryV2 reads the GPiCSR2 layout and, with hasHubFloor, the GPiCSR3
+// layout (identical except for the hub degree floor between the hub budget
+// and the offsets). GPiCSR2 snapshots rebuild with the default floor — the
+// exact pre-GPiCSR3 behavior.
+func readBinaryV2(br *bufio.Reader, hasHubFloor bool) (*Graph, error) {
 	n, err := readCount(br)
 	if err != nil {
 		return nil, err
@@ -274,6 +292,15 @@ func readBinaryV2(br *bufio.Reader) (*Graph, error) {
 	if hubBytes < 0 {
 		return nil, fmt.Errorf("graph: negative hub budget %d", hubBytes)
 	}
+	var hubFloor int64
+	if hasHubFloor {
+		if err := binary.Read(br, binary.LittleEndian, &hubFloor); err != nil {
+			return nil, fmt.Errorf("graph: reading hub degree floor: %w", err)
+		}
+		if hubFloor < 0 || hubFloor > maxSnapshotHubFloor {
+			return nil, fmt.Errorf("graph: invalid hub degree floor %d", hubFloor)
+		}
+	}
 	g.offsets, err = readChunked[int64](br, n+1, "offsets")
 	if err != nil {
 		return nil, err
@@ -282,7 +309,7 @@ func readBinaryV2(br *bufio.Reader) (*Graph, error) {
 		return nil, err
 	}
 	if hubBytes > 0 {
-		g.BuildHubBitmaps(hubBytes, 0)
+		g.BuildHubBitmaps(hubBytes, int(hubFloor))
 	}
 	return g, nil
 }
@@ -349,6 +376,29 @@ func SaveBinaryFile(path string, g *Graph) error {
 		return err
 	}
 	return f.Close()
+}
+
+// LoadAnyFile reads a graph from path, auto-detecting the binary snapshot
+// format against whitespace edge-list text (the detection the facade's
+// LoadGraph and the query service's admin loader share).
+func LoadAnyFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	head, _ := br.Peek(6)
+	var g *Graph
+	if string(head) == "GPiCSR" {
+		g, err = ReadBinary(br)
+	} else {
+		g, err = ReadEdgeList(br)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
 }
 
 // LoadBinaryFile reads a snapshot from path.

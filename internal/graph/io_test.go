@@ -42,14 +42,16 @@ func snapshotOf(t *testing.T, g *Graph) []byte {
 	return buf.Bytes()
 }
 
-// v2 layout offsets for a snapshot with an empty name and no reorder map:
-// magic(8) n(8) nameLen(8) mapLen(8) hubBytes(8) offsets(8(n+1)) adj(4·slots).
+// v3 layout offsets for a snapshot with an empty name and no reorder map:
+// magic(8) n(8) nameLen(8) mapLen(8) hubBytes(8) hubFloor(8)
+// offsets(8(n+1)) adj(4·slots).
 const (
 	offN        = 8
 	offNameLen  = 16
 	offMapLen   = 24
 	offHubBytes = 32
-	offOffsets  = 40
+	offHubFloor = 40
+	offOffsets  = 48
 )
 
 func pathGraph(t *testing.T) *Graph {
@@ -260,5 +262,116 @@ func TestBuildHubBitmapsDegreeFloor(t *testing.T) {
 	}
 	if k2 := g.BuildHubBitmaps(1<<22, 1<<30); k2 != 0 {
 		t.Fatalf("absurd floor built %d hubs", k2)
+	}
+}
+
+// writeBinaryV2 reproduces the GPiCSR2 writer byte-for-byte (no hub degree
+// floor field) so the compatibility path stays pinned now that the code
+// writes GPiCSR3.
+func writeBinaryV2(t *testing.T, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString("GPiCSR2\n")
+	name := g.Name()
+	for _, v := range []int64{int64(g.NumVertices()), int64(len(name))} {
+		binary.Write(&buf, binary.LittleEndian, v)
+	}
+	buf.WriteString(name)
+	binary.Write(&buf, binary.LittleEndian, int64(len(g.NewToOld())))
+	if len(g.NewToOld()) > 0 {
+		binary.Write(&buf, binary.LittleEndian, g.NewToOld())
+	}
+	var hubBytes int64
+	if g.NumHubs() > 0 {
+		hubBytes = g.HubMemoryBytes()
+	}
+	binary.Write(&buf, binary.LittleEndian, hubBytes)
+	binary.Write(&buf, binary.LittleEndian, g.offsets)
+	binary.Write(&buf, binary.LittleEndian, g.adj)
+	return buf.Bytes()
+}
+
+// TestSnapshotPersistsHubDegreeFloor pins the GPiCSR3 field: on a flat graph
+// whose hubs only exist below the default floor, a save/load round trip must
+// reproduce the tuned hub set — the pre-GPiCSR3 behavior (rebuild with the
+// default floor) silently dropped every hub.
+func TestSnapshotPersistsHubDegreeFloor(t *testing.T) {
+	g := GNM(500, 2000, 7).Reorder() // max degree well below the default floor
+	if k := g.BuildHubBitmaps(1<<22, 4); k == 0 {
+		t.Fatal("fixture built no hubs at floor 4")
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.HubDegreeFloor() != 4 {
+		t.Errorf("reloaded floor = %d, want 4", g2.HubDegreeFloor())
+	}
+	if g2.NumHubs() != g.NumHubs() {
+		t.Errorf("reloaded hubs = %d, want %d", g2.NumHubs(), g.NumHubs())
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		if (g.HubBitmap(uint32(v)) != nil) != (g2.HubBitmap(uint32(v)) != nil) {
+			t.Fatalf("hub bitmap presence differs at vertex %d", v)
+		}
+	}
+}
+
+// TestReadBinaryV2Compat: GPiCSR2 snapshots (no floor field) must still load
+// and rebuild with the default floor.
+func TestReadBinaryV2Compat(t *testing.T) {
+	g := BarabasiAlbert(500, 6, 21).Reorder()
+	g.SetName("v2-compat")
+	g.BuildHubBitmaps(1<<20, 0)
+	if g.NumHubs() == 0 {
+		t.Fatal("fixture needs hubs")
+	}
+	g2, err := readNoPanic(t, "v2", writeBinaryV2(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Name() != "v2-compat" || !g2.IsReordered() {
+		t.Fatalf("v2 snapshot lost name/reorder: name=%q reordered=%v", g2.Name(), g2.IsReordered())
+	}
+	if g2.NumHubs() != g.NumHubs() {
+		t.Errorf("v2 rebuilt hubs = %d, want %d", g2.NumHubs(), g.NumHubs())
+	}
+	if g2.HubDegreeFloor() != DefaultHubDegreeFloor {
+		t.Errorf("v2 floor = %d, want default %d", g2.HubDegreeFloor(), DefaultHubDegreeFloor)
+	}
+	// Truncations of the v2 layout must keep erroring through the shared
+	// parser now that it serves two versions.
+	data := writeBinaryV2(t, g)
+	for cut := 0; cut < len(data); cut += 101 {
+		if _, err := readNoPanic(t, fmt.Sprintf("v2[:%d]", cut), data[:cut]); err == nil {
+			t.Fatalf("v2 truncated to %d/%d bytes accepted", cut, len(data))
+		}
+	}
+}
+
+// TestReadBinaryBadHubFloor rejects corrupt floor values instead of building
+// nonsense hub sets.
+func TestReadBinaryBadHubFloor(t *testing.T) {
+	g := BarabasiAlbert(300, 5, 3).Reorder()
+	g.SetName("") // keep the floor field at a computable offset
+	g.BuildHubBitmaps(1<<20, 0)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The floor field sits right after the hub budget: locate it from the
+	// layout (magic, n, nameLen, name, mapLen, map, hubBytes, hubFloor).
+	off := 8 + 8 + 8 + 0 + 8 + 4*g.NumVertices() + 8
+	for _, bad := range []int64{-1, int64(MaxVertices) + 1} {
+		mut := append([]byte{}, data...)
+		binary.LittleEndian.PutUint64(mut[off:], uint64(bad))
+		if _, err := readNoPanic(t, fmt.Sprintf("floor=%d", bad), mut); err == nil {
+			t.Errorf("hub floor %d accepted", bad)
+		}
 	}
 }

@@ -1,6 +1,10 @@
 package pattern
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // This file defines the concrete patterns the paper's evaluation uses.
 //
@@ -160,6 +164,50 @@ func P6() *Pattern { return CliqueMinus(7).WithName("P6-K7me") }
 // paper's Figures 8–11 and Tables II–III.
 func EvaluationPatterns() []*Pattern {
 	return []*Pattern{P1(), P2(), P3(), P4(), P5(), P6()}
+}
+
+// Named resolves a pattern by the names the CLI and the query service
+// accept, case-insensitively: the worked examples (triangle, rectangle,
+// pentagon, house, cycle6tri), the evaluation suite p1..p6, and cliques
+// k3..k12.
+func Named(name string) (*Pattern, error) {
+	switch n := strings.ToLower(strings.TrimSpace(name)); n {
+	case "triangle":
+		return Triangle(), nil
+	case "rectangle":
+		return Rectangle(), nil
+	case "pentagon":
+		return Pentagon(), nil
+	case "house":
+		return House(), nil
+	case "cycle6tri":
+		return Cycle6Tri(), nil
+	case "p1", "p2", "p3", "p4", "p5", "p6":
+		return EvaluationPatterns()[n[1]-'1'], nil
+	default:
+		if len(n) >= 2 && n[0] == 'k' {
+			if size, err := strconv.Atoi(n[1:]); err == nil {
+				if size < 3 || size > MaxVertices {
+					return nil, fmt.Errorf("pattern: clique size %d out of range [3,%d]", size, MaxVertices)
+				}
+				return Clique(size), nil
+			}
+		}
+		return nil, fmt.Errorf("pattern: unknown pattern name %q", name)
+	}
+}
+
+// Parse resolves a pattern spec: either a Named pattern or the
+// "n:rowmajor01matrix" adjacency form the reference implementation uses.
+func Parse(spec string) (*Pattern, error) {
+	if head, matrix, ok := strings.Cut(spec, ":"); ok {
+		n, err := strconv.Atoi(strings.TrimSpace(head))
+		if err != nil {
+			return nil, fmt.Errorf("pattern: bad size in spec %q: %v", spec, err)
+		}
+		return ParseAdjacency(n, strings.TrimSpace(matrix), "custom")
+	}
+	return Named(spec)
 }
 
 // AllConnected enumerates all connected patterns with n vertices up to

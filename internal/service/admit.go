@@ -1,0 +1,68 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned when a query arrives while MaxConcurrent jobs run
+// and MaxQueue more already wait — the admission controller's load-shedding
+// signal, surfaced to HTTP clients as 429 Too Many Requests.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// admission bounds how much work the server accepts: at most maxConcurrent
+// jobs hold run slots at once, at most maxQueue more wait for one (in FIFO
+// order — blocked channel sends are granted in arrival order), and anything
+// beyond is rejected immediately rather than queued into oblivion. Worker
+// budgets are a separate concern (the taskpool.Limiter); this gate exists so
+// a burst of queries degrades into fast 429s instead of an unbounded pile of
+// goroutines all planning at once.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	waiting  atomic.Int64
+}
+
+func newAdmission(maxConcurrent, maxQueue int) *admission {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire takes a free run slot immediately when one exists; otherwise it
+// joins the waiting line (failing fast with ErrQueueFull at capacity) until
+// a slot frees or ctx cancels.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		return ErrQueueFull
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// queueDepth is the number of jobs waiting for a run slot.
+func (a *admission) queueDepth() int { return int(a.waiting.Load()) }
+
+// running is the number of granted run slots.
+func (a *admission) running() int { return len(a.slots) }

@@ -1,0 +1,139 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"graphpi/internal/cluster"
+	"graphpi/internal/core"
+	"graphpi/internal/graph"
+)
+
+// A backend executes a compiled counting job. The service plans once
+// (through the cache) and then dispatches the identical configuration either
+// onto the local engine or across a connected TCP worker cluster; because
+// both runtimes execute the same compiled loop program, the counts are
+// bit-identical — asserted by test, and the reason a query can move between
+// backends transparently.
+type backend interface {
+	// name tags job records and metrics.
+	name() string
+	// count runs the configuration to completion or ctx cancellation.
+	count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int) (int64, error)
+}
+
+// localBackend runs on the in-process engine with the job's worker budget.
+type localBackend struct{}
+
+func (localBackend) name() string { return "local" }
+
+func (localBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int) (int64, error) {
+	opt := core.RunOptions{Workers: workers}
+	if useIEP {
+		return cfg.CountIEPCtx(ctx, g, opt)
+	}
+	return cfg.CountCtx(ctx, g, opt)
+}
+
+// clusterBackend dispatches counting jobs across TCP worker processes
+// (cluster.Serve listeners). The transport is dialed lazily and redialed
+// after a failure or a cancellation: a cancelled job abandons its session by
+// closing the connections, which both unblocks the master side immediately
+// and — via the workers' disconnect stop flag — frees the remote cores
+// within one outer-loop boundary. The wire protocol runs one job per
+// connection set at a time, so jobs serialize on jobMu; admission control
+// keeps that line short.
+type clusterBackend struct {
+	addrs          []string
+	workersPerNode int
+
+	jobMu sync.Mutex // one wire job at a time
+	mu    sync.Mutex // guards tr
+	tr    cluster.Transport
+}
+
+func newClusterBackend(addrs []string, workersPerNode int) *clusterBackend {
+	if workersPerNode < 1 {
+		workersPerNode = 2
+	}
+	return &clusterBackend{addrs: append([]string(nil), addrs...), workersPerNode: workersPerNode}
+}
+
+func (b *clusterBackend) name() string { return "cluster" }
+
+// transport returns the live transport, dialing if needed.
+func (b *clusterBackend) transport() (cluster.Transport, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tr == nil {
+		tr, err := cluster.DialTCP(b.addrs, cluster.DialOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("service: dialing cluster workers: %w", err)
+		}
+		b.tr = tr
+	}
+	return b.tr, nil
+}
+
+// drop discards tr (closing it) so the next job redials fresh connections.
+func (b *clusterBackend) drop(tr cluster.Transport) {
+	b.mu.Lock()
+	if b.tr == tr {
+		b.tr = nil
+	}
+	b.mu.Unlock()
+	tr.Close()
+}
+
+func (b *clusterBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int) (int64, error) {
+	b.jobMu.Lock()
+	defer b.jobMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	tr, err := b.transport()
+	if err != nil {
+		return 0, err
+	}
+	type outcome struct {
+		res *cluster.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := cluster.Run(cfg, g, cluster.Options{
+			WorkersPerNode: b.workersPerNode,
+			UseIEP:         useIEP,
+			Transport:      tr,
+		})
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			// A failed job poisons the transport; drop it so the next
+			// query redials instead of inheriting the poison.
+			b.drop(tr)
+			return 0, o.err
+		}
+		return o.res.Count, nil
+	case <-ctx.Done():
+		// Abandon the session: closing the connections errors the in-flight
+		// Run and tells every worker (via its disconnect stop flag) to
+		// abandon its queue.
+		b.drop(tr)
+		<-ch // reap the runner goroutine; it fails fast on the closed conns
+		return 0, ctx.Err()
+	}
+}
+
+func (b *clusterBackend) close() {
+	b.mu.Lock()
+	tr := b.tr
+	b.tr = nil
+	b.mu.Unlock()
+	if tr != nil {
+		tr.Close()
+	}
+}

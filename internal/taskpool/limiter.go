@@ -1,0 +1,132 @@
+package taskpool
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Limiter is a FIFO weighted semaphore over worker slots. A resident runtime
+// (the query service) sizes it to the machine's core budget and makes every
+// job acquire its worker allotment before running, so concurrent jobs share
+// the same pool the single-shot engine uses instead of oversubscribing the
+// host. Waiters are granted strictly in arrival order — a wide request at
+// the head of the line is never starved by narrow requests slipping past it.
+type Limiter struct {
+	mu      sync.Mutex
+	cap     int
+	used    int
+	waiters []*limWaiter
+}
+
+type limWaiter struct {
+	n     int
+	ready chan struct{}
+}
+
+// NewLimiter returns a Limiter with the given worker-slot capacity
+// (< 1 → 1).
+func NewLimiter(capacity int) *Limiter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Limiter{cap: capacity}
+}
+
+// Cap returns the total worker-slot capacity.
+func (l *Limiter) Cap() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cap
+}
+
+// InUse returns the number of slots currently held (the service's
+// busy-workers gauge).
+func (l *Limiter) InUse() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// Waiting returns the number of requests queued for slots.
+func (l *Limiter) Waiting() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.waiters)
+}
+
+// Acquire blocks until n slots are available (and every earlier waiter has
+// been served) or ctx is cancelled. n is clamped to [1, Cap] so a request
+// can never deadlock against the capacity; the clamped grant is returned.
+// On cancellation no slots are held.
+func (l *Limiter) Acquire(ctx context.Context, n int) (int, error) {
+	l.mu.Lock()
+	if n < 1 {
+		n = 1
+	}
+	if n > l.cap {
+		n = l.cap
+	}
+	if len(l.waiters) == 0 && l.used+n <= l.cap {
+		l.used += n
+		l.mu.Unlock()
+		return n, nil
+	}
+	w := &limWaiter{n: n, ready: make(chan struct{})}
+	l.waiters = append(l.waiters, w)
+	l.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return n, nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with the cancellation: keep the
+			// cancellation semantics and hand the slots straight back.
+			l.used -= w.n
+			l.grantLocked()
+		default:
+			l.removeLocked(w)
+		}
+		l.mu.Unlock()
+		return 0, ctx.Err()
+	}
+}
+
+// Release returns n slots acquired earlier. Releasing more than is in use
+// panics: that is always a caller accounting bug worth crashing on in tests.
+func (l *Limiter) Release(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n < 0 || n > l.used {
+		panic(fmt.Sprintf("taskpool: Limiter.Release(%d) with %d in use", n, l.used))
+	}
+	l.used -= n
+	l.grantLocked()
+}
+
+// grantLocked serves waiters from the front of the line while capacity
+// allows. Stopping at the first unservable waiter is what makes the order
+// strict.
+func (l *Limiter) grantLocked() {
+	for len(l.waiters) > 0 {
+		w := l.waiters[0]
+		if l.used+w.n > l.cap {
+			return
+		}
+		l.used += w.n
+		l.waiters = l.waiters[1:]
+		close(w.ready)
+	}
+}
+
+func (l *Limiter) removeLocked(target *limWaiter) {
+	for i, w := range l.waiters {
+		if w == target {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package taskpool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLimiterBasicAcquireRelease(t *testing.T) {
+	l := NewLimiter(4)
+	got, err := l.Acquire(context.Background(), 3)
+	if err != nil || got != 3 {
+		t.Fatalf("Acquire(3) = %d, %v", got, err)
+	}
+	if l.InUse() != 3 {
+		t.Fatalf("InUse = %d, want 3", l.InUse())
+	}
+	l.Release(3)
+	if l.InUse() != 0 {
+		t.Fatalf("InUse after release = %d, want 0", l.InUse())
+	}
+}
+
+func TestLimiterClampsWideRequests(t *testing.T) {
+	l := NewLimiter(2)
+	got, err := l.Acquire(context.Background(), 100)
+	if err != nil || got != 2 {
+		t.Fatalf("Acquire(100) on cap 2 = %d, %v; want 2 granted", got, err)
+	}
+	l.Release(got)
+	got, err = l.Acquire(context.Background(), 0)
+	if err != nil || got != 1 {
+		t.Fatalf("Acquire(0) = %d, %v; want clamped to 1", got, err)
+	}
+	l.Release(got)
+}
+
+func TestLimiterBlocksAndFIFO(t *testing.T) {
+	l := NewLimiter(2)
+	if _, err := l.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Stagger arrivals so the waiter line has a deterministic order.
+			time.Sleep(time.Duration(i) * 20 * time.Millisecond)
+			n, err := l.Acquire(context.Background(), 2)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			time.Sleep(5 * time.Millisecond)
+			l.Release(n)
+		}(i)
+	}
+	close(start)
+	time.Sleep(80 * time.Millisecond) // all three queued behind the holder
+	if w := l.Waiting(); w != 3 {
+		t.Fatalf("Waiting = %d, want 3", w)
+	}
+	l.Release(2)
+	wg.Wait()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order %v, want FIFO [0 1 2]", order)
+		}
+	}
+}
+
+func TestLimiterAcquireCancel(t *testing.T) {
+	l := NewLimiter(1)
+	if _, err := l.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx, 1)
+		errc <- err
+	}()
+	for l.Waiting() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("cancelled Acquire = %v, want context.Canceled", err)
+	}
+	if l.Waiting() != 0 {
+		t.Fatalf("cancelled waiter still queued")
+	}
+	// The held slot must still be releasable and re-acquirable.
+	l.Release(1)
+	if got, err := l.Acquire(context.Background(), 1); err != nil || got != 1 {
+		t.Fatalf("re-acquire after cancel = %d, %v", got, err)
+	}
+}
+
+func TestLimiterConcurrentNeverOversubscribes(t *testing.T) {
+	const capacity = 3
+	l := NewLimiter(capacity)
+	var peak, cur atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n, err := l.Acquire(context.Background(), 1+i%capacity)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			now := cur.Add(int64(n))
+			for {
+				p := peak.Load()
+				if now <= p || peak.CompareAndSwap(p, now) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(int64(-n))
+			l.Release(n)
+		}(i)
+	}
+	wg.Wait()
+	if peak.Load() > capacity {
+		t.Fatalf("peak concurrent slots %d exceeds capacity %d", peak.Load(), capacity)
+	}
+	if l.InUse() != 0 {
+		t.Fatalf("InUse = %d after all released", l.InUse())
+	}
+}
