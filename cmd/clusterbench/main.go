@@ -7,6 +7,12 @@
 // Run with:
 //
 //	go run ./cmd/clusterbench -out BENCH_pr3.json
+//
+// With -recovery it instead measures the cost of fault recovery: the same
+// TCP job with zero losses versus one worker crashing mid-job (its
+// unacknowledged tasks re-dealt to the survivors):
+//
+//	go run ./cmd/clusterbench -recovery -out BENCH_pr6.json
 package main
 
 import (
@@ -14,16 +20,21 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"os"
 	"runtime"
 	"time"
 
 	"graphpi"
+	"graphpi/internal/cluster"
+	"graphpi/internal/core"
+	"graphpi/internal/graph"
+	"graphpi/internal/pattern"
 )
 
 type result struct {
 	Pattern      string  `json:"pattern"`
-	Transport    string  `json:"transport"` // single | channel | tcp
+	Transport    string  `json:"transport"` // single | channel | tcp | tcp+loss
 	Nodes        int     `json:"nodes"`
 	WorkersPer   int     `json:"workers_per_node"`
 	Count        int64   `json:"count"`
@@ -31,6 +42,8 @@ type result struct {
 	Tasks        int     `json:"tasks,omitempty"`
 	Steals       int64   `json:"steals,omitempty"`
 	MaxBusyShare float64 `json:"max_busy_share,omitempty"`
+	Losses       int64   `json:"losses,omitempty"`
+	Redealt      int64   `json:"tasks_redealt,omitempty"`
 }
 
 type report struct {
@@ -42,19 +55,29 @@ type report struct {
 	When      time.Time `json:"when"`
 	// TCPOverhead maps pattern → tcp_seconds/channel_seconds − 1; the
 	// number this benchmark exists to watch.
-	TCPOverhead map[string]float64 `json:"tcp_overhead"`
-	Results     []result           `json:"results"`
+	TCPOverhead map[string]float64 `json:"tcp_overhead,omitempty"`
+	// RecoveryOverhead maps pattern → loss_seconds/clean_seconds − 1: the
+	// price of losing one worker mid-job (re-dial is excluded; the job
+	// finishes on the survivors). Written by -recovery runs.
+	RecoveryOverhead map[string]float64 `json:"recovery_overhead,omitempty"`
+	Results          []result           `json:"results"`
 }
 
 func main() {
 	var (
-		out   = flag.String("out", "BENCH_pr3.json", "output JSON path")
-		n     = flag.Int("n", 20000, "BA graph vertices")
-		m     = flag.Int("m", 5, "BA edges per vertex")
-		nodes = flag.Int("nodes", 3, "cluster nodes / TCP workers")
-		wpn   = flag.Int("node-workers", 2, "workers per node")
+		out      = flag.String("out", "BENCH_pr3.json", "output JSON path")
+		n        = flag.Int("n", 20000, "BA graph vertices")
+		m        = flag.Int("m", 5, "BA edges per vertex")
+		nodes    = flag.Int("nodes", 3, "cluster nodes / TCP workers")
+		wpn      = flag.Int("node-workers", 2, "workers per node")
+		recovery = flag.Bool("recovery", false, "measure fault-recovery cost (0 vs 1 mid-job worker loss) instead of transport overhead")
 	)
 	flag.Parse()
+
+	if *recovery {
+		runRecovery(*out, *n, *m, *nodes, *wpn)
+		return
+	}
 
 	g := graphpi.GenerateBA(*n, *m, 4242)
 	rep := report{
@@ -137,4 +160,91 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("wrote %s (tcp overhead: %+v)\n", *out, rep.TCPOverhead)
+}
+
+// runRecovery measures the cost of the elastic data plane's fault recovery:
+// the same distributed count over loopback TCP workers, once with a healthy
+// pool and once with one worker crashing a few tasks into the job (its
+// connection closes; the master synthesizes its result from banked acks and
+// re-deals the unacknowledged tasks to the survivors). Both runs must report
+// the identical count — recovery changes latency, never the answer.
+func runRecovery(out string, n, m, nodes, wpn int) {
+	g := graph.BarabasiAlbert(n, m, 4242)
+	rep := report{
+		Bench:            "pr6-cluster-recovery",
+		Graph:            fmt.Sprintf("BA(n=%d, m=%d, seed=4242)", n, m),
+		Vertices:         g.NumVertices(),
+		Edges:            g.NumEdges(),
+		GoMaxProc:        runtime.GOMAXPROCS(0),
+		When:             time.Now().UTC(),
+		RecoveryOverhead: map[string]float64{},
+	}
+
+	var addrs []string
+	for i := 0; i < nodes; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		go cluster.Serve(ln, g, cluster.ServeOptions{})
+		addrs = append(addrs, ln.Addr().String())
+	}
+
+	patterns := map[string]*pattern.Pattern{
+		"house":    pattern.House(),
+		"pentagon": pattern.Pentagon(),
+	}
+	for name, p := range patterns {
+		planned, err := core.Plan(p, g.Stats(), core.PlanOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := planned.Best
+		want := cfg.Count(g, core.RunOptions{Workers: nodes * wpn})
+
+		var secs = map[string]float64{}
+		for _, scenario := range []string{"tcp", "tcp+loss"} {
+			// A fresh transport per run: the crashed worker's process
+			// survives (only its connection dies), so redialing is clean.
+			tr, err := cluster.DialTCP(addrs, cluster.DialOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if scenario == "tcp+loss" {
+				// The last rank dies after three acknowledged tasks —
+				// early enough that most of its share must be re-dealt.
+				tr = cluster.NewFaultyTransport(tr, nodes-1, 3)
+			}
+			res, err := cluster.Run(cfg, g, cluster.Options{
+				WorkersPerNode: wpn, UseIEP: true, Transport: tr,
+			})
+			if err != nil {
+				log.Fatalf("%s/%s: %v", name, scenario, err)
+			}
+			if res.Count != want {
+				log.Fatalf("%s/%s: count %d != single-node %d", name, scenario, res.Count, want)
+			}
+			st := tr.(cluster.PoolStatsProvider).PoolStats()
+			tr.Close()
+			secs[scenario] = res.Elapsed.Seconds()
+			rep.Results = append(rep.Results, result{
+				Pattern: name, Transport: scenario, Nodes: nodes, WorkersPer: wpn,
+				Count: res.Count, Seconds: res.Elapsed.Seconds(), Tasks: res.Tasks,
+				Losses: st.Losses, Redealt: st.Redealt,
+			})
+			fmt.Printf("%-8s %-9s count=%d time=%.3fs tasks=%d losses=%d redealt=%d\n",
+				name, scenario, res.Count, res.Elapsed.Seconds(), res.Tasks, st.Losses, st.Redealt)
+		}
+		rep.RecoveryOverhead[name] = secs["tcp+loss"]/secs["tcp"] - 1
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (recovery overhead: %+v)\n", out, rep.RecoveryOverhead)
 }

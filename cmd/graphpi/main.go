@@ -11,6 +11,8 @@
 // hold a replica of the data graph (share a GPiCSR3 snapshot):
 //
 //	graphpi -graph data.bin -serve :9421                 # on each worker
+//	graphpi -serve :9421                                 # cold worker: fetches the
+//	                                                     # snapshot from its master
 //	graphpi -graph data.bin -pattern house -iep \
 //	        -join host1:9421,host2:9421                  # on the master
 //
@@ -73,6 +75,7 @@ func main() {
 		maxJobs     = flag.Int("max-jobs", 0, "with -server: max concurrently executing queries (0 = 2)")
 		maxQueue    = flag.Int("max-queue", 0, "with -server: max queries waiting for a slot before 429s (0 = 64)")
 		cacheBytes  = flag.Int64("plan-cache", 0, "with -server: plan cache budget in bytes (0 = 8 MiB)")
+		clusterRtry = flag.Int("cluster-retries", 0, "with -server: retries for a failed cluster job (0 = 2, negative = none)")
 		emitGo      = flag.String("emit-go", "", "write standalone Go source for the planned configuration to this path and exit")
 	)
 	flag.Parse()
@@ -102,16 +105,23 @@ func main() {
 		failUsage(err)
 	}
 
-	g, err := loadGraph(*graphPath, *datasetName, *scale)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("graph: %s (%s)\n", g.Name(), g.StatsString())
-	if *hybrid {
-		prep := time.Now()
-		g = g.OptimizeHubs(*hubBudget, *hubFloor)
-		fmt.Printf("hybrid view: degree-ordered, bitmaps built in %v\n",
-			time.Since(prep).Round(time.Microsecond))
+	var g *graphpi.Graph
+	if *graphPath == "" && *datasetName == "" && *serveAddr != "" {
+		// A cold worker: no local replica, fetch a fingerprint-verified
+		// snapshot from the first master that connects.
+		fmt.Println("graph: none (cold worker; fetching a snapshot from the first master)")
+	} else {
+		g, err = loadGraph(*graphPath, *datasetName, *scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("graph: %s (%s)\n", g.Name(), g.StatsString())
+		if *hybrid {
+			prep := time.Now()
+			g = g.OptimizeHubs(*hubBudget, *hubFloor)
+			fmt.Printf("hybrid view: degree-ordered, bitmaps built in %v\n",
+				time.Since(prep).Round(time.Microsecond))
+		}
 	}
 
 	if *serverAddr != "" {
@@ -123,6 +133,7 @@ func main() {
 			maxJobs:      *maxJobs,
 			maxQueue:     *maxQueue,
 			cacheBytes:   *cacheBytes,
+			retries:      *clusterRtry,
 		})
 		return
 	}
@@ -310,6 +321,7 @@ type serverOptions struct {
 	maxJobs      int
 	maxQueue     int
 	cacheBytes   int64
+	retries      int
 }
 
 // runServer turns this process into the resident query service: it holds
@@ -330,6 +342,7 @@ func runServer(addr string, g *graphpi.Graph, opt serverOptions) {
 		PlanCacheBytes:        opt.cacheBytes,
 		ClusterWorkers:        opt.clusterAddrs,
 		ClusterWorkersPerNode: opt.nodeWorkers,
+		ClusterJobRetries:     opt.retries,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -350,13 +363,18 @@ func runServer(addr string, g *graphpi.Graph, opt serverOptions) {
 }
 
 // runServe turns this process into a cluster worker: it blocks serving
-// counting jobs against the loaded graph until killed.
+// counting jobs against the loaded graph — or, when no graph was given, a
+// snapshot fetched from its first master — until killed.
 func runServe(addr string, g *graphpi.Graph, workerOverride int) {
 	srv, err := graphpi.ServeCluster(addr, g, workerOverride)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Printf("cluster worker: serving %s on %s (Ctrl-C to stop)\n", g.Name(), srv.Addr())
+	what := "cold (snapshot on first contact)"
+	if g != nil {
+		what = g.Name()
+	}
+	fmt.Printf("cluster worker: serving %s on %s (Ctrl-C to stop)\n", what, srv.Addr())
 	if err := srv.Wait(); err != nil {
 		fail(err)
 	}

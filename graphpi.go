@@ -33,6 +33,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"time"
 
 	"graphpi/internal/approx"
@@ -590,8 +591,11 @@ func clusterCount(tr cluster.Transport, g *Graph, p *Pattern, copt ClusterOption
 
 // Cluster is a handle to a set of TCP-connected worker processes
 // (cluster.Serve listeners). It can run many counting jobs; Close releases
-// the connections. A failed job (e.g. a worker disconnect) poisons the
-// handle — dial a fresh one to continue.
+// the connections. The handle is elastic: a worker lost mid-job has its
+// unfinished tasks re-dealt to the survivors (counts stay exact), and lost
+// workers are redialed — with capped exponential backoff — before each
+// subsequent job, so a restarted worker rejoins without redialing the
+// handle. A job errors only when every worker is lost at once.
 type Cluster struct {
 	tr cluster.Transport
 	n  int
@@ -632,18 +636,30 @@ type ClusterServer struct {
 
 // ServeCluster starts a worker listening on addr (e.g. ":9421", or
 // "127.0.0.1:0" for an ephemeral test port) that executes counting jobs
-// against g. workersPerJob overrides the per-job worker goroutine count
-// requested by masters (0 → honor the master). The server runs on a
-// background goroutine; use Addr to learn the bound address, Wait to block
-// until shutdown, and Close to stop.
+// against g. g may be nil: the worker then joins cold and fetches a
+// fingerprint-verified snapshot of the data graph from the first master
+// that connects, so a replacement worker needs no local graph file.
+// workersPerJob overrides the per-job worker goroutine count requested by
+// masters (0 → honor the master). The server runs on a background
+// goroutine; use Addr to learn the bound address, Wait to block until
+// shutdown, and Close to stop.
 func ServeCluster(addr string, g *Graph, workersPerJob int) (*ClusterServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	var replica *graph.Graph
+	if g != nil {
+		replica = g.g
+	}
 	s := &ClusterServer{ln: ln, done: make(chan error, 1)}
 	go func() {
-		s.done <- cluster.Serve(ln, g.g, cluster.ServeOptions{Workers: workersPerJob})
+		s.done <- cluster.Serve(ln, replica, cluster.ServeOptions{
+			Workers: workersPerJob,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
 	}()
 	return s, nil
 }
@@ -685,6 +701,11 @@ type QueryServiceOptions struct {
 	// ClusterWorkersPerNode is the per-rank worker count for dispatched
 	// jobs (0 → 2).
 	ClusterWorkersPerNode int
+	// ClusterJobRetries is how many times a failed cluster job is retried
+	// before the client sees its error (0 → 2, negative → no retries).
+	// Individual worker loss is recovered within an attempt by re-dealing;
+	// retries cover losing the whole fleet at once.
+	ClusterJobRetries int
 	// Logf, if non-nil, receives lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -713,6 +734,7 @@ func ServeQueries(addr string, opt QueryServiceOptions) (*QueryServer, error) {
 		CacheBytes:            opt.PlanCacheBytes,
 		ClusterAddrs:          opt.ClusterWorkers,
 		ClusterWorkersPerNode: opt.ClusterWorkersPerNode,
+		ClusterJobRetries:     opt.ClusterJobRetries,
 		Logf:                  opt.Logf,
 	})
 	for name, g := range opt.Graphs {

@@ -95,7 +95,7 @@ func (s *chanSession) Start() error {
 			for {
 				select {
 				case req := <-nd.inbox:
-					req.reply <- nd.takeHalf()
+					req.reply <- nd.take()
 				case <-s.done:
 					// Drain any in-flight requests so requesters never
 					// block.
@@ -117,9 +117,29 @@ func (s *chanSession) Start() error {
 		s.workWG.Add(1)
 		go func(i int, nd *chanRank) {
 			defer s.workWG.Done()
-			s.raw[i] = nd.drain(s.job, s.job.WorkersPerRank, nil,
+			var halt *atomic.Bool
+			taskDone := func(taskpool.Range, int64) { s.pending.Add(-1) }
+			if s.job.FailAfterTasks > 0 && i == s.job.FailRank && len(s.ranks) > 1 {
+				// Injected loss, modeled at task boundaries: after the
+				// K-th completed task the rank halts and marks itself
+				// dead, so survivors steal its entire remaining queue. In
+				// shared memory the dead rank's raw tally survives for
+				// free (the TCP fabric has to re-earn unacknowledged
+				// counts instead), so totals stay exact either way.
+				halt = new(atomic.Bool)
+				var completed atomic.Int64
+				k := int64(s.job.FailAfterTasks)
+				taskDone = func(taskpool.Range, int64) {
+					s.pending.Add(-1)
+					if completed.Add(1) == k {
+						nd.dead.Store(true)
+						halt.Store(true)
+					}
+				}
+			}
+			s.raw[i] = nd.drain(s.job, s.job.WorkersPerRank, nil, halt,
 				func() stealVerdict { return s.steal(nd) },
-				func() { s.pending.Add(-1) })
+				taskDone)
 		}(i, nd)
 	}
 	return nil

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -11,16 +12,17 @@ import (
 	"time"
 
 	"graphpi/internal/graph"
+	"graphpi/internal/taskpool"
 )
 
 // This file is the worker side of the TCP fabric: a process that holds a
-// full replica of the data graph (typically loaded from a shared GPiCSR2
-// snapshot with graph.LoadBinaryFile), accepts master connections, and
-// executes the same compiled configurations the master planned. One worker
-// process is one rank; its internal structure mirrors a channel-transport
-// rank exactly — the shared rank.drain loop runs the worker goroutines, and
-// the connection reader plays the communication thread serving steal-ask
-// requests while workers compute.
+// full replica of the data graph (loaded from a shared GPiCSR snapshot, or
+// pulled from the master over the wire when the worker starts cold), accepts
+// master connections, and executes the same compiled configurations the
+// master planned. One worker process is one rank; its internal structure
+// mirrors a channel-transport rank exactly — the shared rank.drain loop runs
+// the worker goroutines, and the connection reader plays the communication
+// thread serving steal-ask requests while workers compute.
 
 // ServeOptions configures a worker process.
 type ServeOptions struct {
@@ -43,13 +45,37 @@ func (o ServeOptions) logf(format string, args ...any) {
 // without deadlines — counting can legitimately take minutes.
 const handshakeTimeout = 10 * time.Second
 
+// graphHolder is the worker's replica slot, shared by every connection the
+// worker serves. A worker started cold (nil graph) advertises hasGraph=false
+// and fills the slot when a master pushes a snapshot; the replica then
+// persists across connections, so a redialing master does not re-push.
+type graphHolder struct {
+	mu sync.Mutex
+	g  *graph.Graph
+}
+
+func (h *graphHolder) get() *graph.Graph {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.g
+}
+
+func (h *graphHolder) set(g *graph.Graph) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.g = g
+}
+
 // Serve accepts master connections on ln and executes their counting jobs
-// against g, the worker's replica of the data graph. It blocks until ln is
-// closed (which is the idiomatic shutdown: close the listener, in-flight
-// jobs fail their masters' connections). Each connection is served on its
-// own goroutine, so a worker can in principle serve several masters, though
-// they compete for the same cores.
+// against g, the worker's replica of the data graph. g may be nil: the
+// worker then joins cold and waits for a master to push the snapshot before
+// its first job. Serve blocks until ln is closed (which is the idiomatic
+// shutdown: close the listener, in-flight jobs fail their masters'
+// connections). Each connection is served on its own goroutine, so a worker
+// can in principle serve several masters, though they compete for the same
+// cores.
 func Serve(ln net.Listener, g *graph.Graph, opt ServeOptions) error {
+	holder := &graphHolder{g: g}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -60,7 +86,7 @@ func Serve(ln net.Listener, g *graph.Graph, opt ServeOptions) error {
 		}
 		go func() {
 			defer conn.Close()
-			if err := serveConn(conn, g, opt); err != nil {
+			if err := serveConn(conn, holder, opt); err != nil {
 				opt.logf("cluster worker: %v: %v", conn.RemoteAddr(), err)
 			}
 		}()
@@ -68,8 +94,9 @@ func Serve(ln net.Listener, g *graph.Graph, opt ServeOptions) error {
 }
 
 // serveConn handles one master for its lifetime: handshake, then a sequence
-// of jobs. A clean disconnect (EOF between jobs) returns nil.
-func serveConn(conn net.Conn, g *graph.Graph, opt ServeOptions) error {
+// of snapshot pushes and jobs. A clean disconnect (EOF between jobs) returns
+// nil.
+func serveConn(conn net.Conn, holder *graphHolder, opt ServeOptions) error {
 	br := bufio.NewReader(conn)
 	if err := conn.SetDeadline(time.Now().Add(handshakeTimeout)); err != nil {
 		return err
@@ -85,7 +112,12 @@ func serveConn(conn net.Conn, g *graph.Graph, opt ServeOptions) error {
 		writeFrame(conn, msgError, []byte(err.Error()))
 		return err
 	}
-	if err := writeFrame(conn, msgWelcome, encodeWelcome(opt.Workers, fingerprintOf(g))); err != nil {
+	var fp graphFingerprint
+	hasGraph := false
+	if g := holder.get(); g != nil {
+		fp, hasGraph = fingerprintOf(g), true
+	}
+	if err := writeFrame(conn, msgWelcome, encodeWelcome(opt.Workers, fp, hasGraph)); err != nil {
 		return err
 	}
 	if err := conn.SetDeadline(time.Time{}); err != nil {
@@ -102,18 +134,66 @@ func serveConn(conn net.Conn, g *graph.Graph, opt ServeOptions) error {
 			}
 			return err
 		}
-		if typ != msgJob {
-			return fmt.Errorf("expected job, got frame type %d", typ)
-		}
-		if err := runWorkerJob(conn, br, g, opt, payload); err != nil {
-			return err
+		switch typ {
+		case msgSnapBegin:
+			if err := receiveSnapshot(conn, br, holder, opt, payload); err != nil {
+				return err
+			}
+		case msgJob:
+			if err := runWorkerJob(conn, br, holder, opt, payload); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("expected job or snapshot, got frame type %d", typ)
 		}
 	}
 }
 
+// receiveSnapshot reads a master-pushed snapshot stream, loads the replica
+// into the holder and answers with its fingerprint.
+func receiveSnapshot(conn net.Conn, br *bufio.Reader, holder *graphHolder, opt ServeOptions, beginPayload []byte) error {
+	total, err := decodeSnapBegin(beginPayload)
+	if err != nil {
+		writeFrame(conn, msgError, []byte(err.Error()))
+		return err
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, total))
+	for {
+		typ, payload, err := readFrame(br)
+		if err != nil {
+			return fmt.Errorf("reading snapshot chunk: %w", err)
+		}
+		if typ == msgSnapEnd {
+			break
+		}
+		if typ != msgSnapData {
+			return fmt.Errorf("expected snapshot data, got frame type %d", typ)
+		}
+		if int64(buf.Len())+int64(len(payload)) > total {
+			err := fmt.Errorf("snapshot overruns advertised length %d", total)
+			writeFrame(conn, msgError, []byte(err.Error()))
+			return err
+		}
+		buf.Write(payload)
+	}
+	if int64(buf.Len()) != total {
+		err := fmt.Errorf("snapshot truncated: got %d of %d bytes", buf.Len(), total)
+		writeFrame(conn, msgError, []byte(err.Error()))
+		return err
+	}
+	g, err := graph.ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		writeFrame(conn, msgError, []byte(fmt.Sprintf("loading pushed snapshot: %v", err)))
+		return err
+	}
+	holder.set(g)
+	opt.logf("cluster worker: %v pushed snapshot %s (%d bytes)", conn.RemoteAddr(), FingerprintKey(g), total)
+	return writeFrame(conn, msgSnapOK, encodeSnapOK(fingerprintOf(g)))
+}
+
 // workerConnState is the per-job connection state: a write mutex shared by
-// the steal agent (requests), the reader (steal-give replies) and the result
-// sender.
+// the steal agent (requests), the reader (steal-give replies), the task
+// acknowledger and the result sender.
 type workerConnState struct {
 	conn net.Conn
 	wmu  sync.Mutex
@@ -125,20 +205,41 @@ func (c *workerConnState) write(typ uint8, payload []byte) error {
 	return writeFrame(c.conn, typ, payload)
 }
 
+// stealReplyTimeout bounds how long the steal agent waits for the master's
+// verdict before treating the attempt as a retry. Verdicts can be dropped
+// when the reply buffer is full of unsolicited re-deals, so the agent must
+// not wait on one forever; a late verdict is consumed (harmlessly) by the
+// next attempt.
+const stealReplyTimeout = 100 * time.Millisecond
+
 // runWorkerJob executes one job frame end to end: compile, receive the
-// initial deal, drain with master-relayed stealing, report the result, and
-// wait for the job epilogue.
-func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOptions, jobPayload []byte) error {
+// initial deal, drain with master-relayed stealing and per-task
+// acknowledgement, report the result, and wait for the job epilogue.
+//
+// Exit discipline (deterministic under a mid-job master disconnect): the
+// result frame is written only when the drain finished cleanly — if the
+// connection was lost (reader error, ack or steal write failure) or the rank
+// halted on an injected fault, the drain's outcome is abandoned without
+// touching the socket. A partial drain can therefore never race a result
+// frame onto the wire; the master either receives acks followed by a result,
+// or acks followed by a disconnect.
+func runWorkerJob(conn net.Conn, br *bufio.Reader, holder *graphHolder, opt ServeOptions, jobPayload []byte) error {
 	spec, err := decodeJob(jobPayload)
 	if err != nil {
 		writeFrame(conn, msgError, []byte(err.Error()))
 		return err
 	}
+	g := holder.get()
+	if g == nil {
+		// A rejected job is not a connection error: report it and keep
+		// serving — the master should have pushed a snapshot first.
+		return writeFrame(conn, msgError, []byte("worker holds no graph snapshot"))
+	}
 	job, err := spec.compile(g)
 	if err != nil {
-		// A rejected job (graph/config mismatch) is not a connection
-		// error: report it and let the master decide; it will usually
-		// close the connection, which the outer loop handles as a leave.
+		// Likewise (graph/config mismatch): let the master decide; it will
+		// usually close the connection, which the outer loop handles as a
+		// leave.
 		return writeFrame(conn, msgError, []byte(err.Error()))
 	}
 	if opt.Workers > 0 {
@@ -149,7 +250,7 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 	}
 
 	rk := &rank{id: spec.Rank}
-	// Initial deal: zero or one tasks frame, then start. (Ranks beyond the
+	// Initial deal: zero or one tasks frames, then start. (Ranks beyond the
 	// task count receive no tasks frame at all.)
 	for {
 		typ, payload, err := readFrame(br)
@@ -170,7 +271,17 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 	}
 
 	c := &workerConnState{conn: conn}
-	replies := make(chan stealVerdict, 1)
+	// Verdicts are pushed non-blockingly by the reader (an unsolicited
+	// re-deal can arrive while a solicited verdict is still unread), so the
+	// buffer absorbs bursts and the steal agent tolerates drops via
+	// stealReplyTimeout.
+	replies := make(chan stealVerdict, 8)
+	pushVerdict := func(v stealVerdict) {
+		select {
+		case replies <- v:
+		default:
+		}
+	}
 	readerDone := make(chan struct{})
 	var readerErr error
 	var jobDone atomic.Bool
@@ -180,6 +291,26 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 	// boundary instead of leaving them counting for a client that will
 	// never read the result.
 	var lost atomic.Bool
+	// halt flips on an injected fault: the rank "crashes" at a task
+	// boundary, leaving exactly-once accountable state (acked tasks) behind.
+	var halt atomic.Bool
+
+	// Acknowledge every completed task with its raw count delta; the master
+	// banks it so a loss of this rank re-earns only unacknowledged work.
+	// The injected fault (FailAfterTasks) closes the connection abruptly
+	// after the K-th ack — an honest simulation of a crash mid-job.
+	injectFault := job.FailAfterTasks > 0 && spec.Rank == job.FailRank && spec.NumRanks > 1
+	var completed atomic.Int64
+	taskDone := func(t taskpool.Range, delta int64) {
+		if err := c.write(msgAck, encodeAck(t, delta)); err != nil {
+			lost.Store(true)
+			return
+		}
+		if injectFault && completed.Add(1) == int64(job.FailAfterTasks) {
+			halt.Store(true)
+			conn.Close()
+		}
+	}
 
 	// The communication thread: serve steal-asks from the master's relay
 	// and route steal replies to the steal agent, until the master closes
@@ -211,11 +342,11 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 				}
 				rk.push(ts)
 				atomic.AddInt64(&rk.stats.StealsReceived, int64(len(ts)))
-				replies <- stealGot
+				pushVerdict(stealGot)
 			case msgRetry:
-				replies <- stealRetry
+				pushVerdict(stealRetry)
 			case msgNoWork:
-				replies <- stealDone
+				pushVerdict(stealDone)
 			case msgJobDone:
 				return
 			default:
@@ -245,6 +376,7 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 			return stealDone
 		}
 		if err := c.write(msgStealReq, encodeRemaining(rk.size())); err != nil {
+			lost.Store(true)
 			jobDone.Store(true)
 			return stealDone
 		}
@@ -259,11 +391,29 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, g *graph.Graph, opt ServeOpti
 			// rank as disconnected.
 			jobDone.Store(true)
 			return stealDone
+		case <-time.After(stealReplyTimeout):
+			// The verdict may have been dropped (or is slow); re-request.
+			return stealRetry
 		}
 	}
 
-	raw := rk.drain(job, job.WorkersPerRank, &lost, steal, nil)
+	raw := rk.drain(job, job.WorkersPerRank, &lost, &halt, steal, taskDone)
 
+	if halt.Load() {
+		// Injected crash: the connection is closed; the outer loop's next
+		// read fails and the worker returns to accepting masters.
+		<-readerDone
+		return fmt.Errorf("injected fault: rank %d left after %d tasks", spec.Rank, completed.Load())
+	}
+	if lost.Load() {
+		// The master is gone; there is no one to report to, and a drain
+		// interrupted by the stop flag must never produce a result frame.
+		<-readerDone
+		if readerErr != nil {
+			return readerErr
+		}
+		return fmt.Errorf("connection lost mid-job")
+	}
 	if err := c.write(msgResult, encodeResult(rk.result(raw))); err != nil {
 		<-readerDone
 		return err

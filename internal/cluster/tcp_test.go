@@ -158,12 +158,14 @@ func TestTCPNameMismatch(t *testing.T) {
 	}
 }
 
-// TestTCPWorkerDisconnect: a worker that dies mid-job must surface as an
-// error from Run, never a hang, and the transport must refuse further jobs.
+// TestTCPWorkerDisconnect: a worker that dies right after start is a
+// recoverable loss — its tasks are re-dealt and the job completes with the
+// exact count; the shrunken pool keeps serving further jobs.
 func TestTCPWorkerDisconnect(t *testing.T) {
 	g := graph.BarabasiAlbert(400, 5, 7)
 	// One honest worker plus one saboteur that handshakes, accepts the
-	// job, then drops the connection right after start.
+	// job, consumes its deal, then drops the connection right at start.
+	// Redial attempts are slammed shut so the pool stays shrunken.
 	honest := startWorkers(t, g, 1)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -175,14 +177,15 @@ func TestTCPWorkerDisconnect(t *testing.T) {
 		if err != nil {
 			return
 		}
-		defer conn.Close()
 		// hello → welcome
 		if typ, _, err := readFrame(conn); err != nil || typ != msgHello {
+			conn.Close()
 			return
 		}
-		writeFrame(conn, msgWelcome, encodeWelcome(0, fingerprintOf(g)))
+		writeFrame(conn, msgWelcome, encodeWelcome(0, fingerprintOf(g), true))
 		// job → jobOK
 		if typ, _, err := readFrame(conn); err != nil || typ != msgJob {
+			conn.Close()
 			return
 		}
 		writeFrame(conn, msgJobOK, nil)
@@ -190,27 +193,244 @@ func TestTCPWorkerDisconnect(t *testing.T) {
 		for {
 			typ, _, err := readFrame(conn)
 			if err != nil || typ == msgStart {
+				break
+			}
+		}
+		conn.Close()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
 				return
 			}
+			c.Close() // refuse rejoin fast
 		}
 	}()
 
-	tr, err := DialTCP(append(honest, ln.Addr().String()), DialOptions{})
+	tr, err := DialTCP(append(honest, ln.Addr().String()), DialOptions{Timeout: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer tr.Close()
 	cfg := planFor(t, g, pattern.House())
-	_, err = runWithTimeout(t, 30*time.Second, cfg, g, Options{WorkersPerNode: 2, Transport: tr})
-	if err == nil {
-		t.Fatal("disconnected worker did not error")
+	want := cfg.Count(g, core.RunOptions{Workers: 1})
+	res, err := runWithTimeout(t, 30*time.Second, cfg, g, Options{WorkersPerNode: 2, Transport: tr})
+	if err != nil {
+		t.Fatalf("lost worker was not recovered: %v", err)
 	}
-	if !strings.Contains(err.Error(), "disconnected") {
-		t.Errorf("error %q does not report the disconnect", err)
+	if res.Count != want {
+		t.Errorf("recovered count = %d, want %d", res.Count, want)
 	}
-	// The transport is poisoned: further jobs must be refused, not hung.
-	if _, err := runWithTimeout(t, 10*time.Second, cfg, g, Options{Transport: tr}); err == nil {
-		t.Error("poisoned transport accepted another job")
+	st := tr.(PoolStatsProvider).PoolStats()
+	if st.Losses == 0 {
+		t.Error("rank loss not recorded in pool stats")
+	}
+	if st.Redealt == 0 {
+		t.Error("no tasks recorded as re-dealt")
+	}
+	// The pool shrinks but stays serviceable: the survivor runs the next job.
+	res2, err := runWithTimeout(t, 30*time.Second, cfg, g, Options{WorkersPerNode: 2, Transport: tr})
+	if err != nil {
+		t.Fatalf("shrunken pool refused the next job: %v", err)
+	}
+	if res2.Count != want {
+		t.Errorf("shrunken-pool count = %d, want %d", res2.Count, want)
+	}
+	if len(res2.Nodes) != 1 {
+		t.Errorf("second job ran on %d ranks, want 1 (survivor only)", len(res2.Nodes))
+	}
+}
+
+// TestTCPWorkerLostDuringSetup: a worker that dies between the handshake and
+// the job frames — the master discovers the loss while *setting up* the job,
+// not while running it. Setup-phase losses must be as recoverable as mid-job
+// ones: the link is retired, the rank starts lost-early, and its share is
+// re-dealt to the survivors.
+func TestTCPWorkerLostDuringSetup(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 5, 7)
+	honest := startWorkers(t, g, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// hello → welcome, then vanish before the job arrives.
+		if typ, _, err := readFrame(conn); err != nil || typ != msgHello {
+			conn.Close()
+			return
+		}
+		writeFrame(conn, msgWelcome, encodeWelcome(0, fingerprintOf(g), true))
+		conn.Close()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close() // refuse rejoin fast
+		}
+	}()
+
+	tr, err := DialTCP(append(honest, ln.Addr().String()), DialOptions{Timeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cfg := planFor(t, g, pattern.House())
+	want := cfg.Count(g, core.RunOptions{Workers: 1})
+	res, err := runWithTimeout(t, 30*time.Second, cfg, g, Options{WorkersPerNode: 2, Transport: tr})
+	if err != nil {
+		t.Fatalf("setup-phase loss was not recovered: %v", err)
+	}
+	if res.Count != want {
+		t.Errorf("recovered count = %d, want %d", res.Count, want)
+	}
+	st := tr.(PoolStatsProvider).PoolStats()
+	if st.Losses == 0 {
+		t.Error("setup-phase rank loss not recorded in pool stats")
+	}
+	if st.Live != 1 {
+		t.Errorf("live workers = %d, want 1", st.Live)
+	}
+}
+
+// TestTCPWorkerCrashRejoins is the recovery round trip: a worker "crashes"
+// mid-job (injected fault closes its connection after two completed tasks),
+// the job still produces the exact count, and because the worker process
+// survives, the next job's redial sweep brings it back as a full rank.
+func TestTCPWorkerCrashRejoins(t *testing.T) {
+	g := graph.BarabasiAlbert(500, 5, 11)
+	inner := dialWorkers(t, g, 2)
+	tr := NewFaultyTransport(inner, 1, 2)
+	cfg := planFor(t, g, pattern.House())
+	want := cfg.Count(g, core.RunOptions{Workers: 1})
+
+	res, err := runWithTimeout(t, 30*time.Second, cfg, g,
+		Options{WorkersPerNode: 2, ChunkSize: 8, Transport: tr})
+	if err != nil {
+		t.Fatalf("crashed worker was not recovered: %v", err)
+	}
+	if res.Count != want {
+		t.Errorf("recovered count = %d, want %d", res.Count, want)
+	}
+	st := inner.(PoolStatsProvider).PoolStats()
+	if st.Losses == 0 {
+		t.Error("crash not recorded as a loss")
+	}
+	if st.Live != 1 {
+		t.Errorf("live workers after crash = %d, want 1", st.Live)
+	}
+
+	// The next job redials the crashed worker: it rejoins and runs tasks.
+	res2, err := runWithTimeout(t, 30*time.Second, cfg, g,
+		Options{WorkersPerNode: 2, ChunkSize: 8, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count != want {
+		t.Errorf("post-rejoin count = %d, want %d", res2.Count, want)
+	}
+	if len(res2.Nodes) != 2 {
+		t.Fatalf("post-rejoin job ran on %d ranks, want 2", len(res2.Nodes))
+	}
+	if res2.Nodes[1].TasksRun == 0 {
+		t.Error("rejoined worker received no tasks")
+	}
+	if st := inner.(PoolStatsProvider).PoolStats(); st.Rejoins == 0 {
+		t.Error("rejoin not recorded in pool stats")
+	}
+}
+
+// TestTCPColdWorkerSnapshot: a worker started without any local replica
+// joins cold, receives the fingerprint-verified snapshot from the master
+// before its first job, and participates with exact counts. The replica
+// persists in the worker, so a second transport does not need to re-push.
+func TestTCPColdWorkerSnapshot(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 5, 23)
+	warm := startWorkers(t, g, 1)
+	cold := startWorkers(t, nil, 1)
+	tr, err := DialTCP(append(warm, cold...), DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	cfg := planFor(t, g, pattern.House())
+	want := cfg.Count(g, core.RunOptions{Workers: 1})
+	res, err := runWithTimeout(t, 60*time.Second, cfg, g,
+		Options{WorkersPerNode: 2, UseIEP: true, Transport: tr})
+	if err != nil {
+		t.Fatalf("cold worker could not serve: %v", err)
+	}
+	if res.Count != want {
+		t.Errorf("count with cold worker = %d, want %d", res.Count, want)
+	}
+	if res.Nodes[1].TasksRun == 0 {
+		t.Error("cold worker received no tasks")
+	}
+
+	// The pushed replica persists across connections: a fresh master sees a
+	// warm worker now.
+	tr2, err := DialTCP(cold, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	res2, err := runWithTimeout(t, 60*time.Second, cfg, g,
+		Options{WorkersPerNode: 2, UseIEP: true, Transport: tr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count != want {
+		t.Errorf("count on previously-cold worker = %d, want %d", res2.Count, want)
+	}
+}
+
+// TestServeSurvivesMasterDisconnect (the worker exit path): a master that
+// vanishes mid-drain must leave the worker in a deterministic state — no
+// result frame racing onto a dead socket, cores freed, and the process back
+// to accepting so the next master gets exact counts.
+func TestServeSurvivesMasterDisconnect(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 5, 31)
+	addrs := startWorkers(t, g, 1)
+	tr, err := DialTCP(addrs, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := planFor(t, g, pattern.House())
+	done := make(chan error, 1)
+	go func() {
+		// A deliberately slow job so the close lands mid-drain.
+		_, err := Run(cfg, g, Options{WorkersPerNode: 1, ChunkSize: 4,
+			NodeDelay: 2 * time.Millisecond, Transport: tr})
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	tr.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("abandoned job reported success")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("abandoned job did not unblock the master")
+	}
+
+	// The worker must still be serviceable.
+	tr2, err := DialTCP(addrs, DialOptions{})
+	if err != nil {
+		t.Fatalf("worker unusable after master disconnect: %v", err)
+	}
+	defer tr2.Close()
+	want := cfg.Count(g, core.RunOptions{Workers: 1})
+	res, err := runWithTimeout(t, 30*time.Second, cfg, g, Options{WorkersPerNode: 2, Transport: tr2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Errorf("count after disconnect = %d, want %d", res.Count, want)
 	}
 }
 

@@ -2,12 +2,14 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"graphpi/internal/graph"
 	"graphpi/internal/taskpool"
 )
 
@@ -19,44 +21,91 @@ import (
 // at the cost of one extra hop per steal — the trade the paper's
 // master/communication-thread design also makes for task distribution.
 //
-// Termination argument: the relay tracks remaining[r], an upper bound on
-// rank r's queued tasks. It is exact at deal time and refreshed by every
-// steal frame (requests and gives carry the sender's true queue length);
-// between refreshes ranks only *run* tasks, so the bound never undershoots.
-// Tasks move between ranks only through the relay, which updates both sides.
-// Hence when every remaining[r] is zero no queued task exists anywhere and
-// the relay can safely answer noWork, which is the only way a multi-rank
-// worker stops — and every rank reaches that point because each empty-queue
-// rank keeps re-requesting (retry backoff) and each request refreshes its
-// reported length downward.
+// Fault tolerance: the relay tracks outstanding[r], the exact set of tasks
+// dealt to rank r and not yet acknowledged. Workers acknowledge every
+// completed task with its raw count delta; the master banks the deltas.
+// When a rank is lost mid-job (its connection errors), its banked counts
+// stand in for its result and its outstanding tasks are re-dealt to the
+// survivors — tasks are independent outer-loop ranges, so re-execution
+// re-earns exactly the unacknowledged counts and totals stay bit-identical.
+// A lost link is not fatal to the transport either: the next job's Ranks()
+// sweep redials it with capped exponential backoff, so a restarted worker
+// rejoins the pool without operator action.
+//
+// Termination argument: outstanding[r] is exact — deals and re-deals add,
+// steals move tasks between ranks through the relay (which updates both
+// sides), acknowledgements remove. Hence the total outstanding count is zero
+// exactly when every dealt task has been completed and acknowledged
+// somewhere, which is when the relay answers noWork — the only way a
+// multi-rank worker stops. Every empty rank keeps re-requesting (retry
+// backoff), so every rank reaches that answer.
 
 // DialOptions tunes DialTCP.
 type DialOptions struct {
 	// Timeout bounds each worker dial + handshake (0 → 10s).
 	Timeout time.Duration
+	// RedialBackoff is the initial delay between redial attempts for a lost
+	// worker after its first (immediate) retry fails (0 → 250ms). The delay
+	// doubles per consecutive failure up to RedialBackoffMax (0 → 15s).
+	RedialBackoff    time.Duration
+	RedialBackoffMax time.Duration
+}
+
+// PoolStats is a snapshot of a TCP transport's pool health.
+type PoolStats struct {
+	// Workers is the configured pool size (dialed addresses).
+	Workers int
+	// Live is the number of currently connected workers.
+	Live int
+	// Rejoins counts successful redials of lost workers.
+	Rejoins int64
+	// Redealt counts tasks reassigned from lost ranks to survivors.
+	Redealt int64
+	// Losses counts rank-loss events (disconnects and write failures).
+	Losses int64
+}
+
+// PoolStatsProvider is implemented by transports that track pool health
+// (DialTCP's transport does; the in-process channel transport does not).
+type PoolStatsProvider interface {
+	PoolStats() PoolStats
 }
 
 // tcpTransport is a Transport whose ranks are TCP-connected worker
-// processes. Create one with DialTCP; it can run many sequential jobs until
-// closed or until a job fails (a lost rank poisons the connection state, so
-// the transport refuses further jobs).
+// processes. Create one with DialTCP; it runs sequential jobs until closed.
+// A lost worker only shrinks the pool: its link is redialed on later jobs
+// and the worker rejoins when it comes back.
 type tcpTransport struct {
-	links  []*workerLink
-	broken atomic.Bool
+	opt    DialOptions
 	closed atomic.Bool
+
+	mu    sync.Mutex // guards link lifecycle state (lost/attempts/conn swaps)
+	links []*workerLink
+
+	rejoins atomic.Int64
+	redealt atomic.Int64
+	losses  atomic.Int64
 }
 
-// workerLink is one master↔worker connection.
+// workerLink is one master↔worker connection slot. When lost, the slot
+// keeps its address and backoff state so the transport can redial it.
 type workerLink struct {
 	addr string
 	conn net.Conn
 	br   *bufio.Reader
 	wmu  sync.Mutex
 
-	// advertised worker-count override and graph fingerprint from the
-	// welcome frame.
+	// advertised worker-count override, graph fingerprint and has-graph
+	// flag from the welcome frame (hasGraph also flips when a snapshot push
+	// completes).
 	advWorkers int
 	fp         graphFingerprint
+	hasGraph   bool
+
+	// redial state, guarded by the transport's mu.
+	lost     bool
+	attempts int
+	nextTry  time.Time
 }
 
 func (l *workerLink) write(typ uint8, payload []byte) error {
@@ -67,35 +116,191 @@ func (l *workerLink) write(typ uint8, payload []byte) error {
 
 // DialTCP connects to worker processes (cluster.Serve listeners) at addrs
 // and returns a Transport running jobs across them: one rank per worker.
-// Every worker must hold a replica of the data graph the jobs will use;
-// Connect verifies this per job via the graph fingerprint.
+// Workers may join cold (started without a graph snapshot); the master
+// pushes the fingerprint-verified view to them before their first job.
 func DialTCP(addrs []string, opt DialOptions) (Transport, error) {
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: DialTCP needs at least one worker address")
 	}
-	timeout := opt.Timeout
-	if timeout <= 0 {
-		timeout = handshakeTimeout
-	}
-	t := &tcpTransport{}
+	t := &tcpTransport{opt: opt}
 	for _, addr := range addrs {
-		link, err := dialWorker(addr, timeout)
+		link, err := dialWorker(addr, t.timeout())
 		if err != nil {
 			t.Close()
 			return nil, fmt.Errorf("cluster: worker %s: %w", addr, err)
 		}
 		t.links = append(t.links, link)
 	}
-	// Workers must hold replicas of the same dataset; catching a divergent
-	// worker set here beats a per-job rejection later.
-	for _, l := range t.links[1:] {
-		if err := t.links[0].fp.check(l.fp); err != nil {
+	// Workers holding replicas must hold the same dataset; catching a
+	// divergent worker set here beats a per-job rejection later. Cold
+	// workers are exempt — they will receive the master's view.
+	var ref *workerLink
+	for _, l := range t.links {
+		if !l.hasGraph {
+			continue
+		}
+		if ref == nil {
+			ref = l
+			continue
+		}
+		if err := ref.fp.check(l.fp); err != nil {
 			t.Close()
 			return nil, fmt.Errorf("cluster: workers %s and %s hold different replicas: %w",
-				t.links[0].addr, l.addr, err)
+				ref.addr, l.addr, err)
 		}
 	}
 	return t, nil
+}
+
+func (t *tcpTransport) timeout() time.Duration {
+	if t.opt.Timeout > 0 {
+		return t.opt.Timeout
+	}
+	return handshakeTimeout
+}
+
+// backoff returns the wait before redial attempt n (1-based) of a lost
+// worker: the first retry is immediate, then delays double up to the cap.
+func (t *tcpTransport) backoff(attempts int) time.Duration {
+	base := t.opt.RedialBackoff
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	max := t.opt.RedialBackoffMax
+	if max <= 0 {
+		max = 15 * time.Second
+	}
+	d := base
+	for i := 1; i < attempts && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// markLost retires a link's connection: the slot stays in the pool and is
+// redialed (immediately on the next job, then with capped exponential
+// backoff) until the worker comes back.
+func (t *tcpTransport) markLost(l *workerLink) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if l.lost {
+		return
+	}
+	l.lost = true
+	l.attempts = 0
+	l.nextTry = time.Time{} // first retry is immediate
+	t.losses.Add(1)
+	l.conn.Close()
+}
+
+// Ranks answers with the live worker count — the caller's requested node
+// count does not conjure processes. It is also the transport's supervision
+// point: every job starts here, so lost links due for a retry are redialed
+// before the rank set is reported.
+func (t *tcpTransport) Ranks(int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed.Load() {
+		return 0
+	}
+	now := time.Now()
+	live := 0
+	for _, l := range t.links {
+		if l.lost && !now.Before(l.nextTry) {
+			if nl, err := dialWorker(l.addr, t.timeout()); err == nil {
+				l.conn, l.br = nl.conn, nl.br
+				l.advWorkers, l.fp, l.hasGraph = nl.advWorkers, nl.fp, nl.hasGraph
+				l.lost, l.attempts = false, 0
+				t.rejoins.Add(1)
+			} else {
+				l.attempts++
+				l.nextTry = now.Add(t.backoff(l.attempts))
+			}
+		}
+		if !l.lost {
+			live++
+		}
+	}
+	return live
+}
+
+// TotalWorkers sums each live worker's advertised override, falling back to
+// the requested per-rank count for workers that defer to the master.
+func (t *tcpTransport) TotalWorkers(_, workersPerRank int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	total := 0
+	for _, l := range t.links {
+		if l.lost {
+			continue
+		}
+		if l.advWorkers > 0 {
+			total += l.advWorkers
+		} else {
+			total += workersPerRank
+		}
+	}
+	return total
+}
+
+// Addrs returns the configured worker addresses, in pool order.
+func (t *tcpTransport) Addrs() []string {
+	out := make([]string, len(t.links))
+	for i, l := range t.links {
+		out[i] = l.addr
+	}
+	return out
+}
+
+// PoolStats reports the transport's pool health counters.
+func (t *tcpTransport) PoolStats() PoolStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := PoolStats{
+		Workers: len(t.links),
+		Rejoins: t.rejoins.Load(),
+		Redealt: t.redealt.Load(),
+		Losses:  t.losses.Load(),
+	}
+	for _, l := range t.links {
+		if !l.lost {
+			st.Live++
+		}
+	}
+	return st
+}
+
+func (t *tcpTransport) Close() error {
+	if t.closed.Swap(true) {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var first error
+	for _, l := range t.links {
+		if l.lost {
+			continue
+		}
+		if err := l.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// resetLive retires every live link. Used when a job setup fails partway:
+// some workers already received job frames, so the streams are no longer
+// aligned to job boundaries; the next job redials everyone cleanly.
+func (t *tcpTransport) resetLive() {
+	t.mu.Lock()
+	links := append([]*workerLink(nil), t.links...)
+	t.mu.Unlock()
+	for _, l := range links {
+		t.markLost(l)
+	}
 }
 
 func dialWorker(addr string, timeout time.Duration) (*workerLink, error) {
@@ -126,7 +331,7 @@ func dialWorker(addr string, timeout time.Duration) (*workerLink, error) {
 		conn.Close()
 		return nil, fmt.Errorf("handshake: unexpected frame type %d", typ)
 	}
-	l.advWorkers, l.fp, err = decodeWelcome(payload)
+	l.advWorkers, l.fp, l.hasGraph, err = decodeWelcome(payload)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -138,109 +343,170 @@ func dialWorker(addr string, timeout time.Duration) (*workerLink, error) {
 	return l, nil
 }
 
-// Ranks always answers with the connected worker set — the caller's
-// requested node count does not conjure processes.
-func (t *tcpTransport) Ranks(int) int { return len(t.links) }
+// snapChunk is the snapshot streaming chunk size (well under maxFrame).
+const snapChunk = 1 << 20
 
-// TotalWorkers sums each worker's advertised override, falling back to the
-// requested per-rank count for workers that defer to the master.
-func (t *tcpTransport) TotalWorkers(_, workersPerRank int) int {
-	total := 0
-	for _, l := range t.links {
-		if l.advWorkers > 0 {
-			total += l.advWorkers
-		} else {
-			total += workersPerRank
+// pushSnapshot streams the job graph's binary snapshot to a cold link and
+// verifies the fingerprint the worker reports after loading it. The fatal
+// return distinguishes protocol-level failures (rejection, wrong
+// fingerprint — misconfiguration that retrying will not fix) from IO
+// failures (the worker crashed; recoverable by retiring just that link).
+func (t *tcpTransport) pushSnapshot(l *workerLink, snap []byte, g *graph.Graph) (err error, fatal bool) {
+	if err := l.write(msgSnapBegin, encodeSnapBegin(int64(len(snap)))); err != nil {
+		return err, false
+	}
+	for off := 0; off < len(snap); off += snapChunk {
+		end := off + snapChunk
+		if end > len(snap) {
+			end = len(snap)
+		}
+		if err := l.write(msgSnapData, snap[off:end]); err != nil {
+			return err, false
 		}
 	}
-	return total
-}
-
-// Addrs returns the connected worker addresses, in rank order.
-func (t *tcpTransport) Addrs() []string {
-	out := make([]string, len(t.links))
-	for i, l := range t.links {
-		out[i] = l.addr
+	if err := l.write(msgSnapEnd, nil); err != nil {
+		return err, false
 	}
-	return out
-}
-
-func (t *tcpTransport) Close() error {
-	if t.closed.Swap(true) {
-		return nil
+	typ, payload, err := readFrame(l.br)
+	if err != nil {
+		return fmt.Errorf("reading snapshot reply: %w", err), false
 	}
-	var first error
-	for _, l := range t.links {
-		if err := l.conn.Close(); err != nil && first == nil {
-			first = err
-		}
+	switch typ {
+	case msgSnapOK:
+	case msgError:
+		return fmt.Errorf("worker rejected snapshot: %s", payload), true
+	default:
+		return fmt.Errorf("unexpected snapshot reply type %d", typ), true
 	}
-	return first
+	fp, err := decodeSnapOK(payload)
+	if err != nil {
+		return err, true
+	}
+	if err := fingerprintOf(g).check(fp); err != nil {
+		return fmt.Errorf("pushed snapshot verifies wrong: %w", err), true
+	}
+	l.fp, l.hasGraph = fp, true
+	return nil, false
 }
 
 func (t *tcpTransport) Connect(job *Job, nranks int) (Session, error) {
 	if t.closed.Load() {
 		return nil, fmt.Errorf("cluster: transport closed")
 	}
-	if t.broken.Load() {
-		return nil, fmt.Errorf("cluster: transport unusable after a failed job; dial the workers again")
-	}
-	if nranks != len(t.links) {
-		return nil, fmt.Errorf("cluster: job wants %d ranks, transport has %d workers", nranks, len(t.links))
-	}
-	for i, l := range t.links {
-		if err := l.write(msgJob, encodeJob(jobSpecOf(job, i, nranks))); err != nil {
-			t.fail()
-			return nil, fmt.Errorf("cluster: worker %s: sending job: %w", l.addr, err)
+	t.mu.Lock()
+	var live []*workerLink
+	for _, l := range t.links {
+		if !l.lost {
+			live = append(live, l)
 		}
 	}
-	// Collect per-worker accept/reject synchronously; a reject unwinds the
-	// whole job (peers that accepted are waiting for a deal that will
-	// never come, so the transport closes).
-	for _, l := range t.links {
+	t.mu.Unlock()
+	if len(live) == 0 {
+		return nil, fmt.Errorf("cluster: no live workers (pool of %d, all lost)", len(t.links))
+	}
+	if nranks != len(live) {
+		return nil, fmt.Errorf("cluster: job wants %d ranks, %d workers are live", nranks, len(live))
+	}
+	// Job setup tolerates crashes the same way the job itself does: an IO
+	// failure on any one link (worker died between jobs, or dies while setup
+	// is in flight) retires that link and the job proceeds on the survivors —
+	// the session starts with the rank marked lost-early and its share is
+	// re-dealt. Only protocol-level rejections (replica mismatch, malformed
+	// replies) unwind the whole job: those mean misconfiguration, and peers
+	// that already accepted are waiting for a deal that will never come, so
+	// every live link is retired and the next job redials cleanly.
+	setupLost := make([]bool, len(live))
+	// Cold workers first: push the snapshot so a worker that joined without
+	// a local replica can serve this graph's jobs.
+	var snap []byte
+	for i, l := range live {
+		if l.hasGraph {
+			continue
+		}
+		if snap == nil {
+			var buf bytes.Buffer
+			if err := graph.WriteBinary(&buf, job.Graph); err != nil {
+				return nil, fmt.Errorf("cluster: serializing snapshot for cold workers: %w", err)
+			}
+			snap = buf.Bytes()
+		}
+		if err, fatal := t.pushSnapshot(l, snap, job.Graph); err != nil {
+			t.markLost(l)
+			if fatal {
+				return nil, fmt.Errorf("cluster: worker %s: snapshot push: %w", l.addr, err)
+			}
+			setupLost[i] = true
+		}
+	}
+	for i, l := range live {
+		if setupLost[i] {
+			continue
+		}
+		if err := l.write(msgJob, encodeJob(jobSpecOf(job, i, nranks))); err != nil {
+			t.markLost(l)
+			setupLost[i] = true
+		}
+	}
+	for i, l := range live {
+		if setupLost[i] {
+			continue
+		}
 		typ, payload, err := readFrame(l.br)
 		if err != nil {
-			t.fail()
-			return nil, fmt.Errorf("cluster: worker %s: reading job reply: %w", l.addr, err)
+			t.markLost(l)
+			setupLost[i] = true
+			continue
 		}
 		switch typ {
 		case msgJobOK:
 		case msgError:
-			t.fail()
+			t.resetLive()
 			return nil, fmt.Errorf("cluster: worker %s rejected job: %s", l.addr, payload)
 		default:
-			t.fail()
+			t.resetLive()
 			return nil, fmt.Errorf("cluster: worker %s: unexpected job reply type %d", l.addr, typ)
 		}
 	}
-	return newTCPSession(t, job), nil
+	accepted := 0
+	for _, lost := range setupLost {
+		if !lost {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		return nil, fmt.Errorf("cluster: every worker was lost during job setup")
+	}
+	s := newTCPSession(t, job, live)
+	copy(s.lostEarly, setupLost)
+	return s, nil
 }
 
-// fail poisons the transport and closes its connections: frame streams are
-// no longer aligned to job boundaries, so no further job can run safely.
-func (t *tcpTransport) fail() {
-	t.broken.Store(true)
-	t.Close()
-}
-
-// tcpEvent is one routed worker frame, tagged with its rank.
+// tcpEvent is one routed worker frame, tagged with its session rank.
 type tcpEvent struct {
-	rank      int
-	kind      uint8 // msgStealReq, msgStealGive, msgResult; 0 for errors
-	remaining int
-	tasks     []taskpool.Range
-	res       RankResult
-	err       error
+	rank  int
+	kind  uint8 // msgAck, msgStealReq, msgStealGive, msgResult; 0 for errors
+	task  taskpool.Range
+	delta int64
+	tasks []taskpool.Range
+	res   RankResult
+	err   error
 }
 
 type tcpSession struct {
-	t   *tcpTransport
-	job *Job
+	t     *tcpTransport
+	job   *Job
+	links []*workerLink // live links at Connect time; session rank = index
 
-	// remaining is the relay's upper bound on each rank's queued tasks.
-	remaining []int
-	events    chan tcpEvent
+	// outstanding[r] is the exact set of tasks dealt to rank r and not yet
+	// acknowledged. Owned by the caller until Start, by coordinate after.
+	outstanding []map[taskpool.Range]struct{}
+	// orphans collects tasks whose rank died before coordinate took over
+	// (Deal/Start write failures); coordinate re-deals them first.
+	orphans []taskpool.Range
+	// lostEarly marks ranks retired before coordinate took over.
+	lostEarly []bool
 
+	events   chan tcpEvent
 	started  atomic.Bool
 	finished bool
 	reduceCh chan struct{}
@@ -248,29 +514,45 @@ type tcpSession struct {
 	failErr  error
 }
 
-func newTCPSession(t *tcpTransport, job *Job) *tcpSession {
-	n := len(t.links)
-	return &tcpSession{
-		t:         t,
-		job:       job,
-		remaining: make([]int, n),
-		// Bounded in-flight events per rank: one steal request or reply,
-		// one result, one error. 4n never blocks a reader.
-		events:   make(chan tcpEvent, 4*n),
+func newTCPSession(t *tcpTransport, job *Job, links []*workerLink) *tcpSession {
+	n := len(links)
+	s := &tcpSession{
+		t:           t,
+		job:         job,
+		links:       links,
+		outstanding: make([]map[taskpool.Range]struct{}, n),
+		lostEarly:   make([]bool, n),
+		// Acks stream continuously; a roomy buffer keeps readers from
+		// stalling while the relay forwards steals. Readers may block on a
+		// full channel — coordinate always drains it.
+		events:   make(chan tcpEvent, 16*n),
 		reduceCh: make(chan struct{}),
 		results:  make([]RankResult, n),
 	}
+	for i := range s.outstanding {
+		s.outstanding[i] = make(map[taskpool.Range]struct{})
+	}
+	return s
 }
 
 func (s *tcpSession) Deal(rankID int, tasks []taskpool.Range) error {
 	if s.started.Load() {
 		return fmt.Errorf("cluster: Deal after Start")
 	}
-	if err := s.t.links[rankID].write(msgTasks, encodeTasks(tasks)); err != nil {
-		s.t.fail()
-		return fmt.Errorf("cluster: worker %s: dealing tasks: %w", s.t.links[rankID].addr, err)
+	if s.lostEarly[rankID] {
+		s.orphans = append(s.orphans, tasks...)
+		return nil
 	}
-	s.remaining[rankID] += len(tasks)
+	if err := s.links[rankID].write(msgTasks, encodeTasks(tasks)); err != nil {
+		// Recoverable: retire the rank and let coordinate re-deal.
+		s.t.markLost(s.links[rankID])
+		s.lostEarly[rankID] = true
+		s.orphans = append(s.orphans, tasks...)
+		return nil
+	}
+	for _, t := range tasks {
+		s.outstanding[rankID][t] = struct{}{}
+	}
 	return nil
 }
 
@@ -278,23 +560,39 @@ func (s *tcpSession) Start() error {
 	if s.started.Swap(true) {
 		return fmt.Errorf("cluster: session already started")
 	}
-	for _, l := range s.t.links {
-		if err := l.write(msgStart, nil); err != nil {
-			s.t.fail()
-			return fmt.Errorf("cluster: worker %s: starting: %w", l.addr, err)
+	startedRanks := 0
+	for i, l := range s.links {
+		if s.lostEarly[i] {
+			continue
 		}
+		if err := l.write(msgStart, nil); err != nil {
+			s.t.markLost(l)
+			s.lostEarly[i] = true
+			for t := range s.outstanding[i] {
+				s.orphans = append(s.orphans, t)
+			}
+			s.outstanding[i] = make(map[taskpool.Range]struct{})
+			continue
+		}
+		startedRanks++
 	}
-	for i, l := range s.t.links {
-		go s.readLoop(i, l)
+	if startedRanks == 0 {
+		return fmt.Errorf("cluster: every worker was lost before the job could start")
+	}
+	for i, l := range s.links {
+		if !s.lostEarly[i] {
+			go s.readLoop(i, l)
+		}
 	}
 	go s.coordinate()
 	return nil
 }
 
 // readLoop routes one worker's frames into the relay. A rank's result is
-// always its last job frame (steal-gives can only be solicited while the
-// rank is unfinished), so the loop exits on it — leaving the connection
-// quiet for the next job.
+// always its last job frame: results are only sent after the relay answers
+// noWork, which it only does once the global outstanding set is empty — at
+// which point no further steal-ask can be solicited. The loop therefore
+// exits on the result, leaving the connection quiet for the next job.
 func (s *tcpSession) readLoop(rankID int, l *workerLink) {
 	for {
 		typ, payload, err := readFrame(l.br)
@@ -303,20 +601,26 @@ func (s *tcpSession) readLoop(rankID int, l *workerLink) {
 			return
 		}
 		switch typ {
+		case msgAck:
+			task, delta, err := decodeAck(payload)
+			if err != nil {
+				s.events <- tcpEvent{rank: rankID, err: err}
+				return
+			}
+			s.events <- tcpEvent{rank: rankID, kind: msgAck, task: task, delta: delta}
 		case msgStealReq:
-			rem, err := decodeRemaining(payload)
-			if err != nil {
+			if _, err := decodeRemaining(payload); err != nil {
 				s.events <- tcpEvent{rank: rankID, err: err}
 				return
 			}
-			s.events <- tcpEvent{rank: rankID, kind: msgStealReq, remaining: rem}
+			s.events <- tcpEvent{rank: rankID, kind: msgStealReq}
 		case msgStealGive:
-			rem, tasks, err := decodeStealGive(payload)
+			_, tasks, err := decodeStealGive(payload)
 			if err != nil {
 				s.events <- tcpEvent{rank: rankID, err: err}
 				return
 			}
-			s.events <- tcpEvent{rank: rankID, kind: msgStealGive, remaining: rem, tasks: tasks}
+			s.events <- tcpEvent{rank: rankID, kind: msgStealGive, tasks: tasks}
 		case msgResult:
 			res, err := decodeResult(payload)
 			if err != nil {
@@ -332,123 +636,232 @@ func (s *tcpSession) readLoop(rankID int, l *workerLink) {
 	}
 }
 
-// coordinate is the steal relay: it serves thief requests one at a time and
-// records results until every rank reports (or one is lost).
+// coordinate is the steal relay and loss recovery loop: it banks
+// acknowledgements, serves thief requests one at a time, and on a rank loss
+// synthesizes the rank's result from its banked counts and re-deals its
+// unacknowledged tasks — until every rank has reported or been recovered.
 func (s *tcpSession) coordinate() {
 	defer close(s.reduceCh)
-	n := len(s.t.links)
+	n := len(s.links)
+	alive := make([]bool, n)
 	done := make([]bool, n)
+	banked := make([]int64, n)
+	acked := make([]int64, n)
 	doneCount := 0
-	var queue []tcpEvent // thief requests parked while serving another
+	var parked []tcpEvent // thief requests parked while serving another
+	var redealQueue []taskpool.Range
 
-	record := func(ev tcpEvent) bool {
+	outstandingTotal := func() int {
+		total := 0
+		for _, m := range s.outstanding {
+			total += len(m)
+		}
+		return total
+	}
+
+	// loseRank retires a rank: its connection closes (making the loss
+	// visible to the transport's redial sweep), its banked counts become its
+	// result, and its unacknowledged tasks join the re-deal queue. The
+	// caller must drain the queue with redeal() afterwards.
+	loseRank := func(r int, cause error) {
+		if !alive[r] {
+			return
+		}
+		alive[r] = false
+		s.t.markLost(s.links[r])
+		if !done[r] {
+			done[r] = true
+			doneCount++
+			// The rank's acknowledged work survives as banked deltas; what
+			// it never acknowledged is re-earned by the survivors below.
+			s.results[r] = RankResult{Raw: banked[r], Stats: NodeStats{TasksRun: acked[r]}}
+		}
+		for t := range s.outstanding[r] {
+			redealQueue = append(redealQueue, t)
+		}
+		s.outstanding[r] = make(map[taskpool.Range]struct{})
+	}
+
+	// redeal drains the re-deal queue onto the least-loaded live rank (the
+	// steal relay rebalances from there). It fails the job only when no
+	// live rank remains to take the work.
+	redeal := func() {
+		for len(redealQueue) > 0 && s.failErr == nil {
+			target, best := -1, int(^uint(0)>>1)
+			for i := 0; i < n; i++ {
+				if alive[i] && !done[i] && len(s.outstanding[i]) < best {
+					best, target = len(s.outstanding[i]), i
+				}
+			}
+			if target < 0 {
+				s.failErr = fmt.Errorf("every worker was lost with %d tasks unfinished", len(redealQueue))
+				return
+			}
+			batch := redealQueue
+			redealQueue = nil
+			if err := s.links[target].write(msgTasks, encodeTasks(batch)); err != nil {
+				redealQueue = batch
+				loseRank(target, err) // appends target's tasks to the queue; retry
+				continue
+			}
+			for _, t := range batch {
+				s.outstanding[target][t] = struct{}{}
+			}
+			s.t.redealt.Add(int64(len(batch)))
+		}
+	}
+
+	// record folds one non-steal-request event into the relay state.
+	record := func(ev tcpEvent) {
 		switch {
 		case ev.err != nil:
-			s.failErr = ev.err
-			return false
+			loseRank(ev.rank, ev.err)
+			redeal()
+		case ev.kind == msgAck:
+			banked[ev.rank] += ev.delta
+			acked[ev.rank]++
+			delete(s.outstanding[ev.rank], ev.task)
+		case ev.kind == msgStealGive:
+			// A give with no thief waiting: the thief died while the ask
+			// was in flight. The victim has surrendered these tasks, so
+			// they must be reassigned.
+			for _, t := range ev.tasks {
+				delete(s.outstanding[ev.rank], t)
+			}
+			if len(ev.tasks) > 0 {
+				redealQueue = append(redealQueue, ev.tasks...)
+				redeal()
+			}
 		case ev.kind == msgResult:
-			s.results[ev.rank] = ev.res
-			s.remaining[ev.rank] = 0
 			if !done[ev.rank] {
+				s.results[ev.rank] = ev.res
 				done[ev.rank] = true
 				doneCount++
 			}
 		}
-		return true
 	}
 
 	// serveThief answers one steal request, asking victims richest-first
 	// until one yields tasks or none can.
-	serveThief := func(req tcpEvent) bool {
+	serveThief := func(req tcpEvent) {
 		thief := req.rank
-		s.remaining[thief] = req.remaining
-		for {
-			victim := -1
-			best := 1 // takeHalf yields nothing below 2 remaining
+		if !alive[thief] || done[thief] {
+			return // stale request from a retired rank
+		}
+		tried := make([]bool, n)
+		for s.failErr == nil {
+			victim, best := -1, 1 // a victim needs ≥ 2 outstanding for takeHalf to yield
 			for i := 0; i < n; i++ {
-				if i != thief && s.remaining[i] > best {
-					best, victim = s.remaining[i], i
+				if i != thief && alive[i] && !done[i] && !tried[i] && len(s.outstanding[i]) > best {
+					best, victim = len(s.outstanding[i]), i
 				}
 			}
 			if victim < 0 {
 				break
 			}
-			if err := s.t.links[victim].write(msgStealAsk, nil); err != nil {
-				s.failErr = fmt.Errorf("worker %s: steal ask: %w", s.t.links[victim].addr, err)
-				return false
+			tried[victim] = true
+			if err := s.links[victim].write(msgStealAsk, nil); err != nil {
+				loseRank(victim, err)
+				redeal()
+				continue
 			}
-			// Await the victim's give; park unrelated events.
-			gave := []taskpool.Range(nil)
-			for {
+			// Await the victim's give; park unrelated thief requests, fold
+			// everything else in as it arrives.
+			var gave []taskpool.Range
+			gotGive := false
+			for s.failErr == nil {
 				ev := <-s.events
 				if ev.kind == msgStealReq {
-					queue = append(queue, ev)
+					parked = append(parked, ev)
 					continue
 				}
-				if !record(ev) {
-					return false
-				}
 				if ev.kind == msgStealGive && ev.rank == victim {
-					s.remaining[victim] = ev.remaining
 					gave = ev.tasks
+					gotGive = true
 					break
 				}
-			}
-			if len(gave) > 0 {
-				if err := s.t.links[thief].write(msgTasks, encodeTasks(gave)); err != nil {
-					s.failErr = fmt.Errorf("worker %s: steal grant: %w", s.t.links[thief].addr, err)
-					return false
+				record(ev)
+				if !alive[victim] {
+					break // its outstanding set was already re-dealt
 				}
-				s.remaining[thief] += len(gave)
-				return true
+				if !alive[thief] || done[thief] {
+					return // nobody left to answer
+				}
 			}
+			if !gotGive {
+				continue
+			}
+			for _, t := range gave {
+				delete(s.outstanding[victim], t)
+			}
+			if len(gave) == 0 {
+				continue
+			}
+			if err := s.links[thief].write(msgTasks, encodeTasks(gave)); err != nil {
+				redealQueue = append(redealQueue, gave...)
+				loseRank(thief, err)
+				redeal()
+				return
+			}
+			for _, t := range gave {
+				s.outstanding[thief][t] = struct{}{}
+			}
+			return
 		}
-		// Nothing to give. If every rank's bound is zero the job has
-		// globally drained; otherwise tell the thief to retry.
+		if s.failErr != nil || !alive[thief] || done[thief] {
+			return
+		}
+		// Nothing stealable. If the global outstanding set is empty every
+		// dealt task has been acknowledged somewhere and the job is done;
+		// otherwise the thief backs off and retries.
 		reply := msgRetry
-		total := 0
-		for _, r := range s.remaining {
-			total += r
-		}
-		if total == 0 {
+		if outstandingTotal() == 0 {
 			reply = msgNoWork
 		}
-		if err := s.t.links[thief].write(reply, nil); err != nil {
-			s.failErr = fmt.Errorf("worker %s: steal reply: %w", s.t.links[thief].addr, err)
-			return false
+		if err := s.links[thief].write(reply, nil); err != nil {
+			loseRank(thief, err)
+			redeal()
 		}
-		return true
 	}
+
+	// Ranks retired before coordinate took over: their queues are already
+	// orphaned; account them as lost and re-deal first.
+	for i := range s.links {
+		alive[i] = !s.lostEarly[i]
+		if s.lostEarly[i] && !done[i] {
+			done[i] = true
+			doneCount++
+		}
+	}
+	redealQueue = append(redealQueue, s.orphans...)
+	s.orphans = nil
+	redeal()
 
 	for doneCount < n && s.failErr == nil {
 		var ev tcpEvent
-		if len(queue) > 0 {
-			ev, queue = queue[0], queue[1:]
+		if len(parked) > 0 {
+			ev, parked = parked[0], parked[1:]
 		} else {
 			ev = <-s.events
 		}
-		if !record(ev) {
-			break
-		}
 		if ev.kind == msgStealReq {
-			if !serveThief(ev) {
-				break
-			}
+			serveThief(ev)
+		} else {
+			record(ev)
 		}
 	}
 
 	if s.failErr != nil {
-		// A lost rank leaves peers blocked on steal replies and frame
-		// streams misaligned; poison the transport so everything
-		// unblocks and no further job reuses these connections.
-		s.t.fail()
 		return
 	}
-	for _, l := range s.t.links {
+	for i, l := range s.links {
+		if !alive[i] {
+			continue
+		}
 		if err := l.write(msgJobDone, nil); err != nil {
-			s.failErr = fmt.Errorf("worker %s: job epilogue: %w", l.addr, err)
-			s.t.fail()
-			return
+			// The results are already in; a failed epilogue only means this
+			// worker is gone for future jobs.
+			s.t.markLost(l)
 		}
 	}
 }
@@ -465,12 +878,15 @@ func (s *tcpSession) Reduce() ([]RankResult, error) {
 	return s.results, nil
 }
 
-// Close releases the session. A session abandoned mid-job (Started but not
-// Reduced) poisons the transport, since its connections carry unconsumed
-// frames.
+// Close releases the session. A session abandoned mid-job (started but not
+// reduced) retires its links: the connections carry unconsumed frames and
+// cannot be reused, but the workers themselves survive — they observe the
+// close, free their cores, and the next job redials them.
 func (s *tcpSession) Close() error {
 	if s.started.Load() && !s.finished {
-		s.t.fail()
+		for _, l := range s.links {
+			s.t.markLost(l)
+		}
 	}
 	return nil
 }

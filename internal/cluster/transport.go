@@ -46,6 +46,14 @@ type Job struct {
 	// (failure/straggler injection for tests); 0 disables.
 	NodeDelay   time.Duration
 	DelayedRank int
+	// FailAfterTasks, when > 0, makes rank FailRank die after completing
+	// that many tasks (fault injection for tests and benchmarks, shipped on
+	// the wire like NodeDelay). Death happens at a task boundary: a TCP
+	// worker closes its connection abruptly, an in-process rank marks itself
+	// dead so its queue is fully stolen by survivors. Multi-rank jobs only —
+	// a single rank has no survivor to recover on.
+	FailRank       int
+	FailAfterTasks int
 }
 
 // RankResult is one rank's partial outcome: the raw (pre-IEP-scaling) tally
@@ -88,8 +96,10 @@ type Session interface {
 	// without master involvement from the caller's point of view.
 	Start() error
 	// Reduce blocks until every rank drains its work and returns the
-	// per-rank partial results, indexed by rank. It returns an error if a
-	// rank is lost (e.g. a TCP worker disconnects mid-job).
+	// per-rank partial results, indexed by rank. A lost rank (e.g. a TCP
+	// worker that disconnects mid-job) is recovered from: its acknowledged
+	// counts are banked and its unacknowledged tasks re-dealt to survivors,
+	// so Reduce errors only when no live rank remains to finish the job.
 	Reduce() ([]RankResult, error)
 	// Close releases the session. It must be safe to call after Reduce
 	// and after errors.
@@ -120,6 +130,11 @@ type rank struct {
 	mu    sync.Mutex
 	queue []taskpool.Range
 	head  int
+
+	// dead marks a rank that stopped executing (fault injection or loss):
+	// peers may then steal its entire queue instead of half, so no task is
+	// stranded behind takeHalf's leave-one-behind rule.
+	dead atomic.Bool
 
 	busyNS atomic.Int64
 	stats  NodeStats
@@ -158,6 +173,20 @@ func (n *rank) takeHalf() []taskpool.Range {
 	return out
 }
 
+// take is the victim side of a steal: half the remainder from a live rank,
+// everything from a dead one (a dead rank's workers will never pop again, so
+// leaving tasks behind would strand them).
+func (n *rank) take() []taskpool.Range {
+	if !n.dead.Load() {
+		return n.takeHalf()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := append([]taskpool.Range(nil), n.queue[n.head:]...)
+	n.queue = n.queue[:n.head]
+	return out
+}
+
 func (n *rank) push(tasks []taskpool.Range) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -168,15 +197,24 @@ func (n *rank) push(tasks []taskpool.Range) {
 // them with per-worker core.Counters, and call steal when the queue runs
 // dry, until steal reports the job has globally drained. It returns the sum
 // of the workers' raw tallies. taskDone, if non-nil, is invoked after every
-// completed task (the channel fabric uses it to maintain its global pending
-// count). stop, if non-nil, aborts the rank cooperatively: once set, the
-// per-worker Counters abandon their current range at the next outer-loop
-// boundary and remaining queued tasks fall through as no-ops — the TCP
-// worker sets it when its master disconnects, so a cancelled or crashed
-// client frees the rank's cores instead of leaving them finishing dead
-// work. This loop is the policy of §IV-E's worker threads and is shared
-// verbatim by every transport.
-func (n *rank) drain(job *Job, nWorkers int, stop *atomic.Bool, steal func() stealVerdict, taskDone func()) int64 {
+// fully completed task with the task's range and the raw count delta its
+// execution earned (the channel fabric maintains its global pending count
+// with it; the TCP worker acknowledges the task to the master). Two flags
+// abort the rank cooperatively:
+//
+//   - stop makes the per-worker Counters abandon their current range at the
+//     next outer-loop boundary; a task interrupted this way is never
+//     reported to taskDone, because its delta is partial. The TCP worker
+//     sets it when its master disconnects, so a cancelled or crashed client
+//     frees the rank's cores instead of leaving them finishing dead work.
+//   - halt stops the rank at the next task boundary: in-flight tasks run to
+//     completion (and are reported), queued tasks stay queued. Fault
+//     injection uses it so a "crashed" rank leaves only exactly-once
+//     accountable state behind.
+//
+// This loop is the policy of §IV-E's worker threads and is shared verbatim
+// by every transport.
+func (n *rank) drain(job *Job, nWorkers int, stop, halt *atomic.Bool, steal func() stealVerdict, taskDone func(t taskpool.Range, delta int64)) int64 {
 	raw := make([]int64, nWorkers)
 	var wg sync.WaitGroup
 	for w := 0; w < nWorkers; w++ {
@@ -185,7 +223,11 @@ func (n *rank) drain(job *Job, nWorkers int, stop *atomic.Bool, steal func() ste
 			defer wg.Done()
 			counter := core.NewCounterStop(job.Cfg, job.Graph, job.UseIEP, stop)
 			defer func() { raw[slot] = counter.Raw() }()
+			var prev int64
 			for {
+				if halt != nil && halt.Load() {
+					return
+				}
 				t, ok := n.pop()
 				if !ok {
 					switch steal() {
@@ -213,10 +255,19 @@ func (n *rank) drain(job *Job, nWorkers int, stop *atomic.Bool, steal func() ste
 				} else {
 					counter.CountRange(t.Start, t.End)
 				}
+				cur := counter.Raw()
+				delta := cur - prev
+				prev = cur
+				if stop != nil && stop.Load() {
+					// The counter may have abandoned the range mid-way;
+					// the partial delta must not be reported as a
+					// completed task.
+					return
+				}
 				n.busyNS.Add(int64(time.Since(t0)))
 				atomic.AddInt64(&n.stats.TasksRun, 1)
 				if taskDone != nil {
-					taskDone()
+					taskDone(t, delta)
 				}
 				// Yield between tasks so ranks interleave fairly even
 				// when the host has fewer cores than the cluster has

@@ -24,13 +24,19 @@ import (
 // Connection lifecycle (master ↔ worker):
 //
 //	master → hello      magic + protocol version           (join)
-//	worker → welcome    version, workers, graph fingerprint
+//	worker → welcome    version, workers, graph fingerprint, has-graph flag
+//	— snapshot fetch (only when the worker joined cold, before its first job) —
+//	master → snapBegin  total snapshot length
+//	master → snapData   one chunk of the GPiCSR binary snapshot
+//	master → snapEnd    end of snapshot
+//	worker → snapOK     fingerprint of the freshly loaded replica
 //	— per job —
 //	master → job        rank, nranks, config spec, options
 //	worker → jobOK | error
 //	master → tasks      initial deal
 //	master → start
-//	— while the job runs, relayed stealing —
+//	— while the job runs, relayed stealing and acknowledgement —
+//	worker → ack        one task completed: its range + raw count delta
 //	worker → stealReq   thief asks the master for work
 //	master → stealAsk   master asks the richest victim
 //	worker → stealGive  victim surrenders half its queue
@@ -40,13 +46,14 @@ import (
 //	master → jobDone    job epilogue; worker awaits the next job
 //
 // Closing the connection at any point is a leave: the worker returns to
-// accepting masters, the master reports the rank lost.
+// accepting masters, the master reports the rank lost and re-deals the
+// rank's unacknowledged tasks to the survivors (see tcp_transport.go).
 
 // wireMagic opens every session; a mismatch fails the handshake before any
 // job state exists. Bump wireVersion when the frame layout changes.
 const (
 	wireMagic   = "GPiTP1\n"
-	wireVersion = 1
+	wireVersion = 2
 
 	// maxFrame bounds a frame payload so a corrupt or hostile peer cannot
 	// drive an arbitrary allocation (a deal of ~1M tasks fits comfortably).
@@ -69,6 +76,11 @@ const (
 	msgNoWork
 	msgResult
 	msgJobDone
+	msgAck
+	msgSnapBegin
+	msgSnapData
+	msgSnapEnd
+	msgSnapOK
 )
 
 // writeFrame emits one frame as a single Write. The caller serializes
@@ -267,6 +279,8 @@ type jobSpec struct {
 	StealThreshold int
 	DelayNS        int64
 	DelayedRank    int
+	FailRank       int
+	FailAfterTasks int
 
 	PatternN     int
 	PatternName  string
@@ -295,6 +309,8 @@ func encodeJob(spec *jobSpec) []byte {
 	w.u32(uint32(spec.StealThreshold))
 	w.i64(spec.DelayNS)
 	w.u32(uint32(spec.DelayedRank))
+	w.u32(uint32(spec.FailRank))
+	w.u32(uint32(spec.FailAfterTasks))
 	w.u8(uint8(spec.PatternN))
 	w.str(spec.PatternName)
 	w.u32(uint32(len(spec.PatternEdges)))
@@ -324,6 +340,8 @@ func decodeJob(payload []byte) (*jobSpec, error) {
 		StealThreshold: int(r.u32("stealThreshold")),
 		DelayNS:        r.i64("delayNS"),
 		DelayedRank:    int(r.u32("delayedRank")),
+		FailRank:       int(r.u32("failRank")),
+		FailAfterTasks: int(r.u32("failAfterTasks")),
 	}
 	spec.PatternN = int(r.u8("pattern size"))
 	spec.PatternName = r.str("pattern name")
@@ -368,6 +386,8 @@ func jobSpecOf(job *Job, rankID, nranks int) *jobSpec {
 		StealThreshold: job.StealThreshold,
 		DelayNS:        int64(job.NodeDelay),
 		DelayedRank:    job.DelayedRank,
+		FailRank:       job.FailRank,
+		FailAfterTasks: job.FailAfterTasks,
 		PatternN:       job.Cfg.Pattern.N(),
 		PatternName:    job.Cfg.Pattern.Name(),
 		PatternEdges:   job.Cfg.Pattern.Edges(),
@@ -416,6 +436,8 @@ func (spec *jobSpec) compile(g *graph.Graph) (*Job, error) {
 		StealThreshold: spec.StealThreshold,
 		NodeDelay:      time.Duration(spec.DelayNS),
 		DelayedRank:    spec.DelayedRank,
+		FailRank:       spec.FailRank,
+		FailAfterTasks: spec.FailAfterTasks,
 	}, nil
 }
 
@@ -470,26 +492,36 @@ func decodeHello(payload []byte) error {
 	return nil
 }
 
-func encodeWelcome(workers int, fp graphFingerprint) []byte {
+// The welcome carries hasGraph so a worker can join cold: a worker started
+// without a local snapshot advertises hasGraph=false (and a zero
+// fingerprint), and the master pushes the fingerprint-verified view over the
+// connection before the first job (snapBegin/snapData/snapEnd/snapOK).
+func encodeWelcome(workers int, fp graphFingerprint, hasGraph bool) []byte {
 	var w wbuf
 	w.u32(wireVersion)
 	w.u32(uint32(workers))
+	if hasGraph {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
 	fp.encode(&w)
 	return w.b
 }
 
-func decodeWelcome(payload []byte) (workers int, fp graphFingerprint, err error) {
+func decodeWelcome(payload []byte) (workers int, fp graphFingerprint, hasGraph bool, err error) {
 	r := &rbuf{b: payload}
 	version := r.u32("version")
 	workers = int(r.u32("workers"))
+	hasGraph = r.u8("hasGraph") != 0
 	fp = decodeFingerprint(r)
 	if r.err != nil {
-		return 0, graphFingerprint{}, r.err
+		return 0, graphFingerprint{}, false, r.err
 	}
 	if version != wireVersion {
-		return 0, graphFingerprint{}, fmt.Errorf("cluster: worker protocol version %d, want %d", version, wireVersion)
+		return 0, graphFingerprint{}, false, fmt.Errorf("cluster: worker protocol version %d, want %d", version, wireVersion)
 	}
-	return workers, fp, nil
+	return workers, fp, hasGraph, nil
 }
 
 // Steal frames carry the sender's post-event queue length so the master's
@@ -532,4 +564,64 @@ func decodeTasks(payload []byte) ([]taskpool.Range, error) {
 	r := &rbuf{b: payload}
 	ts := r.ranges("tasks")
 	return ts, r.err
+}
+
+// Ack frames carry the completed task's identity (ranges are dealt and
+// stolen whole, so the range is the identity) plus the raw count delta its
+// execution earned. The master banks the delta: if the rank is later lost,
+// its acknowledged work survives as banked counts and only unacknowledged
+// tasks are re-dealt — re-execution stays exactly-once from the count's
+// point of view.
+
+func encodeAck(t taskpool.Range, delta int64) []byte {
+	var w wbuf
+	w.i64(int64(t.Start))
+	w.i64(int64(t.End))
+	w.i64(delta)
+	return w.b
+}
+
+func decodeAck(payload []byte) (t taskpool.Range, delta int64, err error) {
+	r := &rbuf{b: payload}
+	t = taskpool.Range{Start: int(r.i64("ack start")), End: int(r.i64("ack end"))}
+	delta = r.i64("ack delta")
+	return t, delta, r.err
+}
+
+// Snapshot frames: the master streams the GPiCSR binary snapshot to a cold
+// worker in bounded chunks; the worker loads it and answers with the new
+// replica's fingerprint so the master can verify the transfer.
+
+// maxSnapshot bounds a pushed snapshot so a corrupt length cannot drive an
+// arbitrary allocation on the worker.
+const maxSnapshot = 1 << 36
+
+func encodeSnapBegin(total int64) []byte {
+	var w wbuf
+	w.i64(total)
+	return w.b
+}
+
+func decodeSnapBegin(payload []byte) (int64, error) {
+	r := &rbuf{b: payload}
+	total := r.i64("snapshot length")
+	if r.err != nil {
+		return 0, r.err
+	}
+	if total <= 0 || total > maxSnapshot {
+		return 0, fmt.Errorf("cluster: snapshot length %d out of range", total)
+	}
+	return total, nil
+}
+
+func encodeSnapOK(fp graphFingerprint) []byte {
+	var w wbuf
+	fp.encode(&w)
+	return w.b
+}
+
+func decodeSnapOK(payload []byte) (graphFingerprint, error) {
+	r := &rbuf{b: payload}
+	fp := decodeFingerprint(r)
+	return fp, r.err
 }

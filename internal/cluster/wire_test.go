@@ -109,8 +109,20 @@ func TestDecodersRejectTruncation(t *testing.T) {
 			_, _, err := decodeStealGive(b)
 			return err
 		}},
-		"welcome": {encodeWelcome(2, fingerprintOf(g)), func(b []byte) error {
-			_, _, err := decodeWelcome(b)
+		"welcome": {encodeWelcome(2, fingerprintOf(g), true), func(b []byte) error {
+			_, _, _, err := decodeWelcome(b)
+			return err
+		}},
+		"ack": {encodeAck(taskpool.Range{Start: 3, End: 9}, 17), func(b []byte) error {
+			_, _, err := decodeAck(b)
+			return err
+		}},
+		"snapBegin": {encodeSnapBegin(1 << 20), func(b []byte) error {
+			_, err := decodeSnapBegin(b)
+			return err
+		}},
+		"snapOK": {encodeSnapOK(fingerprintOf(g)), func(b []byte) error {
+			_, err := decodeSnapOK(b)
 			return err
 		}},
 		"hello": {encodeHello(), decodeHello},
@@ -129,6 +141,67 @@ func TestDecodersRejectTruncation(t *testing.T) {
 				break
 			}
 		}
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	want := taskpool.Range{Start: 12, End: 345}
+	task, delta, err := decodeAck(encodeAck(want, -7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task != want || delta != -7 {
+		t.Errorf("ack round trip: task=%+v delta=%d", task, delta)
+	}
+}
+
+func TestWelcomeCarriesReplicaState(t *testing.T) {
+	g := graph.GNP(30, 0.4, 3)
+	fp := fingerprintOf(g)
+	for _, hasGraph := range []bool{false, true} {
+		workers, got, gotHas, err := decodeWelcome(encodeWelcome(5, fp, hasGraph))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers != 5 || got != fp || gotHas != hasGraph {
+			t.Errorf("welcome(hasGraph=%v) round trip: workers=%d has=%v fp match=%v",
+				hasGraph, workers, gotHas, got == fp)
+		}
+	}
+}
+
+func TestJobSpecCarriesFaultInjection(t *testing.T) {
+	g := graph.GNP(40, 0.3, 9)
+	cfg := planFor(t, g, pattern.Triangle())
+	job := &Job{Cfg: cfg, Graph: g, WorkersPerRank: 1, StealThreshold: 2,
+		FailRank: 1, FailAfterTasks: 4}
+	spec := jobSpecOf(job, 1, 3)
+	decoded, err := decodeJob(encodeJob(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.FailRank != 1 || decoded.FailAfterTasks != 4 {
+		t.Errorf("fault fields lost: %+v", decoded)
+	}
+	rebuilt, err := decoded.compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.FailRank != 1 || rebuilt.FailAfterTasks != 4 {
+		t.Errorf("compiled job lost fault fields: %+v", rebuilt)
+	}
+}
+
+func TestSnapBeginBounds(t *testing.T) {
+	if _, err := decodeSnapBegin(encodeSnapBegin(maxSnapshot + 1)); err == nil {
+		t.Error("oversized snapshot length accepted")
+	}
+	if _, err := decodeSnapBegin(encodeSnapBegin(0)); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	n, err := decodeSnapBegin(encodeSnapBegin(123))
+	if err != nil || n != 123 {
+		t.Errorf("snapBegin round trip: n=%d err=%v", n, err)
 	}
 }
 

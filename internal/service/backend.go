@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"graphpi/internal/cluster"
 	"graphpi/internal/core"
@@ -37,27 +39,45 @@ func (localBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph,
 }
 
 // clusterBackend dispatches counting jobs across TCP worker processes
-// (cluster.Serve listeners). The transport is dialed lazily and redialed
-// after a failure or a cancellation: a cancelled job abandons its session by
-// closing the connections, which both unblocks the master side immediately
-// and — via the workers' disconnect stop flag — frees the remote cores
-// within one outer-loop boundary. The wire protocol runs one job per
-// connection set at a time, so jobs serialize on jobMu; admission control
-// keeps that line short.
+// (cluster.Serve listeners). The transport is dialed lazily and is elastic:
+// a worker lost mid-job has its tasks re-dealt to survivors and is redialed
+// before the next job, so the transport survives failures and is kept across
+// them. A job that still fails (e.g. every worker lost at once) is retried
+// with a bounded attempt budget — each retry re-enters the transport's
+// redial sweep, so a restarted fleet recovers the query without the client
+// resubmitting. Only cancellation drops the transport: a cancelled job
+// abandons its session by closing the connections, which both unblocks the
+// master side immediately and — via the workers' disconnect stop flag —
+// frees the remote cores within one outer-loop boundary. The wire protocol
+// runs one job per connection set at a time, so jobs serialize on jobMu;
+// admission control keeps that line short.
 type clusterBackend struct {
 	addrs          []string
 	workersPerNode int
+	retries        int // extra attempts after the first (≥ 0)
 
 	jobMu sync.Mutex // one wire job at a time
-	mu    sync.Mutex // guards tr
+	mu    sync.Mutex // guards tr and base
 	tr    cluster.Transport
+	// base accumulates recovery counters from transports that were dropped
+	// (cancellation, close), so /metrics totals survive redials.
+	base cluster.PoolStats
+
+	jobRetries atomic.Int64
 }
 
-func newClusterBackend(addrs []string, workersPerNode int) *clusterBackend {
+func newClusterBackend(addrs []string, workersPerNode, retries int) *clusterBackend {
 	if workersPerNode < 1 {
 		workersPerNode = 2
 	}
-	return &clusterBackend{addrs: append([]string(nil), addrs...), workersPerNode: workersPerNode}
+	if retries < 0 {
+		retries = 0
+	}
+	return &clusterBackend{
+		addrs:          append([]string(nil), addrs...),
+		workersPerNode: workersPerNode,
+		retries:        retries,
+	}
 }
 
 func (b *clusterBackend) name() string { return "cluster" }
@@ -76,62 +96,118 @@ func (b *clusterBackend) transport() (cluster.Transport, error) {
 	return b.tr, nil
 }
 
-// drop discards tr (closing it) so the next job redials fresh connections.
+// drop discards tr (closing it) so the next job redials fresh connections,
+// folding its recovery counters into the running totals first.
 func (b *clusterBackend) drop(tr cluster.Transport) {
 	b.mu.Lock()
 	if b.tr == tr {
 		b.tr = nil
+		b.bankLocked(tr)
 	}
 	b.mu.Unlock()
 	tr.Close()
 }
 
+// bankLocked folds a departing transport's counters into base. Callers hold
+// b.mu.
+func (b *clusterBackend) bankLocked(tr cluster.Transport) {
+	if p, ok := tr.(cluster.PoolStatsProvider); ok {
+		st := p.PoolStats()
+		b.base.Rejoins += st.Rejoins
+		b.base.Redealt += st.Redealt
+		b.base.Losses += st.Losses
+	}
+}
+
+// poolStats reports cluster pool health: the live transport's current state
+// plus counters banked from dropped transports. known is false when no
+// transport is currently dialed (pool state unknowable, not necessarily bad).
+func (b *clusterBackend) poolStats() (st cluster.PoolStats, known bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st = b.base
+	st.Workers = len(b.addrs)
+	if b.tr == nil {
+		return st, false
+	}
+	p, ok := b.tr.(cluster.PoolStatsProvider)
+	if !ok {
+		return st, false
+	}
+	cur := p.PoolStats()
+	st.Workers = cur.Workers
+	st.Live = cur.Live
+	st.Rejoins += cur.Rejoins
+	st.Redealt += cur.Redealt
+	st.Losses += cur.Losses
+	return st, true
+}
+
 func (b *clusterBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int) (int64, error) {
 	b.jobMu.Lock()
 	defer b.jobMu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return 0, err
-	}
-	tr, err := b.transport()
-	if err != nil {
-		return 0, err
-	}
-	type outcome struct {
-		res *cluster.Result
-		err error
-	}
-	ch := make(chan outcome, 1)
-	go func() {
-		res, err := cluster.Run(cfg, g, cluster.Options{
-			WorkersPerNode: b.workersPerNode,
-			UseIEP:         useIEP,
-			Transport:      tr,
-		})
-		ch <- outcome{res, err}
-	}()
-	select {
-	case o := <-ch:
-		if o.err != nil {
-			// A failed job poisons the transport; drop it so the next
-			// query redials instead of inheriting the poison.
-			b.drop(tr)
-			return 0, o.err
+	var lastErr error
+	for attempt := 0; attempt <= b.retries; attempt++ {
+		if attempt > 0 {
+			b.jobRetries.Add(1)
+			// Brief linear backoff before re-entering the redial sweep:
+			// enough for a restarted worker to begin listening.
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(time.Duration(attempt) * 100 * time.Millisecond):
+			}
 		}
-		return o.res.Count, nil
-	case <-ctx.Done():
-		// Abandon the session: closing the connections errors the in-flight
-		// Run and tells every worker (via its disconnect stop flag) to
-		// abandon its queue.
-		b.drop(tr)
-		<-ch // reap the runner goroutine; it fails fast on the closed conns
-		return 0, ctx.Err()
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		tr, err := b.transport()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		type outcome struct {
+			res *cluster.Result
+			err error
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			res, err := cluster.Run(cfg, g, cluster.Options{
+				WorkersPerNode: b.workersPerNode,
+				UseIEP:         useIEP,
+				Transport:      tr,
+			})
+			ch <- outcome{res, err}
+		}()
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				// The transport is kept: lost workers are already marked and
+				// the next attempt's redial sweep brings back any that
+				// restarted.
+				lastErr = o.err
+				continue
+			}
+			return o.res.Count, nil
+		case <-ctx.Done():
+			// Abandon the session: closing the connections errors the
+			// in-flight Run and tells every worker (via its disconnect stop
+			// flag) to abandon its queue.
+			b.drop(tr)
+			<-ch // reap the runner goroutine; it fails fast on the closed conns
+			return 0, ctx.Err()
+		}
 	}
+	return 0, fmt.Errorf("service: cluster job failed after %d attempts: %w", b.retries+1, lastErr)
 }
 
 func (b *clusterBackend) close() {
 	b.mu.Lock()
 	tr := b.tr
 	b.tr = nil
+	if tr != nil {
+		b.bankLocked(tr)
+	}
 	b.mu.Unlock()
 	if tr != nil {
 		tr.Close()

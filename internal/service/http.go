@@ -16,7 +16,7 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	GET  /healthz               liveness
+//	GET  /healthz               liveness (503 when every cluster worker is lost)
 //	GET  /graphs                resident graphs
 //	POST /graphs                load a snapshot: {"name","path","optimize"}
 //	GET|POST /count             count embeddings (JSON result)
@@ -34,6 +34,14 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Degrade, don't lie: a server configured for cluster dispatch with
+		// zero live workers cannot serve its default backend, so load
+		// balancers should route elsewhere until the pool recovers.
+		if s.ClusterDegraded() {
+			writeJSON(w, http.StatusServiceUnavailable,
+				map[string]any{"ok": false, "error": "no live cluster workers"})
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
 	mux.HandleFunc("GET /graphs", s.handleGraphs)

@@ -63,6 +63,12 @@ type Options struct {
 	// ClusterWorkersPerNode is the per-rank worker count for dispatched
 	// jobs (default 2; workers may override via their ServeOptions).
 	ClusterWorkersPerNode int
+	// ClusterJobRetries is how many times a failed cluster job is retried
+	// before its error reaches the client (default 2; negative → 0). Worker
+	// loss mid-job is already recovered inside a single attempt by the
+	// elastic transport; retries cover total failures — every worker lost at
+	// once, or a fleet that is restarting.
+	ClusterJobRetries int
 	// KeepFinishedJobs bounds the finished-job history /jobs reports
 	// (default 256).
 	KeepFinishedJobs int
@@ -88,6 +94,11 @@ func (o *Options) normalize() {
 	}
 	if o.CacheBytes <= 0 {
 		o.CacheBytes = defaultCacheBytes
+	}
+	if o.ClusterJobRetries == 0 {
+		o.ClusterJobRetries = 2
+	} else if o.ClusterJobRetries < 0 {
+		o.ClusterJobRetries = 0
 	}
 }
 
@@ -133,7 +144,7 @@ func New(opt Options) *Server {
 		graphs:  map[string]*residentGraph{},
 	}
 	if len(opt.ClusterAddrs) > 0 {
-		s.cluster = newClusterBackend(opt.ClusterAddrs, opt.ClusterWorkersPerNode)
+		s.cluster = newClusterBackend(opt.ClusterAddrs, opt.ClusterWorkersPerNode, opt.ClusterJobRetries)
 	}
 	return s
 }
@@ -500,6 +511,15 @@ type Metrics struct {
 	Cache       cacheStats `json:"cache"`
 	HitRate     float64    `json:"cache_hit_rate"`
 	Cluster     []string   `json:"cluster_workers,omitempty"`
+
+	// Cluster data-plane health (all zero without -cluster-workers;
+	// workers_alive is 0 when the pool state is unknown — no transport
+	// dialed yet — as well as when every worker is lost).
+	WorkersConfigured int   `json:"workers_configured"`
+	WorkersAlive      int   `json:"workers_alive"`
+	RejoinsTotal      int64 `json:"rejoins_total"`
+	RedealtTotal      int64 `json:"tasks_redealt_total"`
+	JobRetriesTotal   int64 `json:"job_retries_total"`
 }
 
 // JobCounts aggregates job outcomes since start.
@@ -537,8 +557,28 @@ func (s *Server) MetricsSnapshot() Metrics {
 	}
 	if s.cluster != nil {
 		m.Cluster = s.cluster.addrs
+		st, known := s.cluster.poolStats()
+		m.WorkersConfigured = st.Workers
+		if known {
+			m.WorkersAlive = st.Live
+		}
+		m.RejoinsTotal = st.Rejoins
+		m.RedealtTotal = st.Redealt
+		m.JobRetriesTotal = s.cluster.jobRetries.Load()
 	}
 	return m
+}
+
+// ClusterDegraded reports whether the service is configured for cluster
+// dispatch but currently has zero live workers — the /healthz 503 condition.
+// An undialed pool (no job has run yet) is not degraded: health is unknown,
+// not known-bad, and the first job's dial would establish it.
+func (s *Server) ClusterDegraded() bool {
+	if s.cluster == nil {
+		return false
+	}
+	st, known := s.cluster.poolStats()
+	return known && st.Live == 0
 }
 
 // PlanningRuns exposes the cache's planning-run counter (test hook: a cache

@@ -480,6 +480,147 @@ func TestServiceClusterBackendSurvivesCancel(t *testing.T) {
 	}
 }
 
+// killableWorkers spawns n TCP cluster workers whose listeners track their
+// accepted connections, and returns their addresses plus per-worker kill
+// switches. kill(i) models a crash: the listener closes (no rejoin) and every
+// established connection is severed.
+func killableWorkers(t *testing.T, g *graph.Graph, n int) ([]string, func(i int)) {
+	t.Helper()
+	addrs := make([]string, n)
+	tls := make([]*trackingListener, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		tl := &trackingListener{Listener: ln}
+		go cluster.Serve(tl, g, cluster.ServeOptions{})
+		t.Cleanup(func() { tl.kill() })
+		addrs[i], tls[i] = ln.Addr().String(), tl
+	}
+	return addrs, func(i int) { tls[i].kill() }
+}
+
+type trackingListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *trackingListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *trackingListener) kill() {
+	l.Listener.Close()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+	l.conns = nil
+}
+
+// TestServiceSurvivesWorkerLoss drives the whole failure model through the
+// service: a worker crash mid-job is recovered inside the attempt (exact
+// count, loss + re-deal counters move), the crashed worker rejoins for the
+// next query, total fleet loss exhausts the retry budget, and /healthz flips
+// to 503 once zero workers are live.
+func TestServiceSurvivesWorkerLoss(t *testing.T) {
+	g := baFixture(2000, 5, 17)
+	addrs, kill := killableWorkers(t, g, 3)
+	s := newTestServer(t, g, Options{ClusterAddrs: addrs, MaxConcurrent: 1, ClusterJobRetries: 2})
+	base := startHTTP(t, s)
+
+	if code := getJSON(t, base+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz before any job = %d, want 200", code)
+	}
+
+	// Swap in a fault-injected view of the same worker fleet: rank 0 dies
+	// after completing two tasks of every multi-rank job. Deterministic — no
+	// sleeps racing the job's runtime.
+	inner, err := cluster.DialTCP(addrs, cluster.DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.cluster.mu.Lock()
+	s.cluster.tr = cluster.NewFaultyTransport(inner, 0, 2)
+	s.cluster.mu.Unlock()
+
+	res, err := core.Plan(pattern.House(), g.Stats(), core.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Best.CountIEP(g, core.RunOptions{})
+	count := func() (int64, error) {
+		qr, err := s.runCount(context.Background(), queryRequest{
+			graphName: "ba", patternSpec: "house", useIEP: true, backendName: "cluster",
+		})
+		if err != nil {
+			return 0, err
+		}
+		return qr.Count, nil
+	}
+
+	// Crash mid-job: the survivors re-earn the dead rank's tasks.
+	got, err := count()
+	if err != nil {
+		t.Fatalf("job with crashing worker: %v", err)
+	}
+	if got != want {
+		t.Errorf("count with crashing worker = %d, want %d", got, want)
+	}
+	var m Metrics
+	getJSON(t, base+"/metrics", &m)
+	if m.WorkersConfigured != 3 || m.WorkersAlive != 2 {
+		t.Errorf("after crash: configured %d alive %d, want 3/2", m.WorkersConfigured, m.WorkersAlive)
+	}
+	if m.RedealtTotal == 0 {
+		t.Error("no re-dealt tasks recorded after a mid-job crash")
+	}
+	if code := getJSON(t, base+"/healthz", nil); code != 200 {
+		t.Error("healthz degraded with two live workers")
+	}
+
+	// The crashed worker's process survived: the next job redials it.
+	got, err = count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("post-rejoin count = %d, want %d", got, want)
+	}
+	getJSON(t, base+"/metrics", &m)
+	if m.RejoinsTotal == 0 {
+		t.Error("rejoin not recorded after the worker came back")
+	}
+
+	// Total fleet loss: every attempt fails, the retry budget is consumed,
+	// and the service reports itself unhealthy.
+	for i := range addrs {
+		kill(i)
+	}
+	if _, err := count(); err == nil {
+		t.Fatal("query succeeded with every worker dead")
+	}
+	getJSON(t, base+"/metrics", &m)
+	if m.JobRetriesTotal < 2 {
+		t.Errorf("job retries = %d, want the full budget (2)", m.JobRetriesTotal)
+	}
+	if m.WorkersAlive != 0 {
+		t.Errorf("workers alive = %d after killing the fleet", m.WorkersAlive)
+	}
+	if code := getJSON(t, base+"/healthz", nil); code != 503 {
+		t.Errorf("healthz with zero live workers = %d, want 503", code)
+	}
+}
+
 // TestPlanCacheLRUEviction drives the byte budget directly: distinct keys
 // beyond the budget evict the least recently used, and an evicted key plans
 // again on return.
