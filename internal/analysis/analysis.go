@@ -1,0 +1,158 @@
+// Package analysis is graphpivet's self-contained static-analysis framework:
+// a minimal re-implementation of the golang.org/x/tools/go/analysis surface
+// (Analyzer, Pass, diagnostics) plus the `go vet -vettool` driver protocol in
+// unitchecker.go. The engine's correctness invariants — wire constants wired
+// through encode/dispatch, mutex-guarded fields, deterministic count paths,
+// context threading, unchecked IO errors — live as analyzers under
+// internal/analysis/<name> and are run over the whole tree by cmd/graphpivet.
+//
+// The framework is dependency-free on purpose: it uses only go/ast, go/types
+// and the standard importers, so the lint gate builds in the same environment
+// as the engine itself. The API mirrors x/tools closely enough that the
+// analyzers would port to the real framework mechanically if the dependency
+// ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer is one named invariant check. Run inspects a single
+// type-checked package via the Pass and reports findings through it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and enables the
+	// `-<name>` selection flag on the multichecker.
+	Name string
+	// Doc is a one-paragraph description: first line is the summary.
+	Doc string
+	// Run performs the check. A returned error aborts the whole run
+	// (internal failure), it is not a finding.
+	Run func(*Pass) error
+}
+
+// A Pass presents one type-checked package to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File // package syntax, test files included
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report receives each finding. Drivers install it.
+	Report func(Diagnostic)
+
+	ignore map[string]map[int]bool // file -> lines bearing graphpivet:ignore
+}
+
+// A Diagnostic is one finding, anchored at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// IgnoreDirective is the in-source suppression marker: a finding whose
+// anchor line carries this comment is dropped. Use sparingly, with a reason
+// in the rest of the comment.
+const IgnoreDirective = "//graphpivet:ignore"
+
+// Reportf reports a finding unless its line is suppressed.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.suppressed(pos) {
+		return
+	}
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+func (p *Pass) suppressed(pos token.Pos) bool {
+	if p.ignore == nil {
+		p.ignore = make(map[string]map[int]bool)
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.HasPrefix(c.Text, IgnoreDirective) {
+						cp := p.Fset.Position(c.Pos())
+						m := p.ignore[cp.Filename]
+						if m == nil {
+							m = make(map[int]bool)
+							p.ignore[cp.Filename] = m
+						}
+						m[cp.Line] = true
+					}
+				}
+			}
+		}
+	}
+	dp := p.Fset.Position(pos)
+	return p.ignore[dp.Filename][dp.Line]
+}
+
+// InTestFile reports whether pos lies in a _test.go file. Most graphpivet
+// analyzers check production invariants only; tests intentionally poke
+// internals (inject faults, read state between synchronization points).
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// FuncsOf yields every function declaration with a body in the package,
+// skipping test files when skipTests is set.
+func (p *Pass) FuncsOf(skipTests bool) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range p.Files {
+		if skipTests && strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// CalleeName returns the bare name of a call's callee: the identifier for
+// f(...) and the final selector for x.y.f(...). Empty when the callee is not
+// a named function or method (e.g. a call of a function literal).
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// CalleeObj resolves a call's callee to its types.Func, when it is a
+// statically known function or method.
+func CalleeObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fn].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fn.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// HasDirective reports whether a declaration's doc comment group contains the
+// given //-style directive (matched on comment-line prefix).
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}

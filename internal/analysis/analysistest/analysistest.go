@@ -1,0 +1,128 @@
+// Package analysistest runs an analyzer over golden fixture packages and
+// checks its findings against `// want` comments, mirroring (a useful subset
+// of) golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives in testdata/src/<pkg>/ next to the analyzer's test. Every
+// line expected to produce a finding carries a comment:
+//
+//	writeFrame(w, t, p) // want `discards the error`
+//
+// The backquoted argument is a regexp matched against the diagnostic message;
+// several `// want` arguments on one line expect several findings. Lines
+// without a want comment must stay clean — an unexpected finding fails the
+// test, so each fixture is simultaneously the analyzer's positive and
+// negative golden file.
+package analysistest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"graphpi/internal/analysis"
+)
+
+var wantRE = regexp.MustCompile("`([^`]*)`")
+
+// Run loads testdata/src/<pkg> under dir, applies the analyzer, and checks
+// findings against the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	src := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(src, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("fixture %s has no Go files", src)
+	}
+	sort.Strings(filenames)
+
+	fset := token.NewFileSet()
+	files, err := analysis.ParseFiles(fset, filenames)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+
+	// Fixtures import only the standard library, so the source importer
+	// (which type-checks $GOROOT/src directly) resolves everything without
+	// needing compiled export data.
+	imp := importer.ForCompiler(fset, "source", nil)
+	tpkg, info, err := analysis.TypeCheck(fset, pkg, files, imp, "")
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	// Collect expectations: (file,line) -> regexps not yet matched.
+	type key struct {
+		file string
+		line int
+	}
+	want := make(map[key][]*regexp.Regexp)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, m := range wantRE.FindAllStringSubmatch(text[i:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", pos, m[1], err)
+					}
+					want[k] = append(want[k], re)
+				}
+			}
+		}
+	}
+
+	var unexpected []string
+	report := func(_ *analysis.Analyzer, d analysis.Diagnostic) {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		for i, re := range want[k] {
+			if re.MatchString(d.Message) {
+				want[k] = append(want[k][:i], want[k][i+1:]...)
+				if len(want[k]) == 0 {
+					delete(want, k)
+				}
+				return
+			}
+		}
+		unexpected = append(unexpected, fmt.Sprintf("%s: unexpected finding: %s", pos, d.Message))
+	}
+	if err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, fset, files, tpkg, info, report); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	sort.Strings(unexpected)
+	for _, u := range unexpected {
+		t.Error(u)
+	}
+	var missing []string
+	for k, res := range want {
+		for _, re := range res {
+			missing = append(missing, fmt.Sprintf("%s:%d: no finding matched %q", k.file, k.line, re))
+		}
+	}
+	sort.Strings(missing)
+	for _, m := range missing {
+		t.Error(m)
+	}
+}

@@ -1,0 +1,131 @@
+// Package ctxflow machine-checks context threading through the engine's
+// entry points, so cancellation keeps working as hot paths are added:
+//
+//   - No context.Background() or context.TODO() in library code (any
+//     non-main package, outside tests): a library that conjures its own root
+//     context has detached itself from its caller's cancellation. Roots
+//     belong to main functions, servers' per-request plumbing and tests.
+//
+//   - A context.Context parameter must be used — passed onward, or checked
+//     via Done/Err/Deadline/Value. An entry point that accepts a ctx and
+//     drops it advertises cancellability it does not implement; that is how
+//     "cancel works on Count but not CountIEP" bugs are born.
+//
+//   - A function named `...Ctx` must take a context.Context as its first
+//     parameter — the suffix is the facade's cancellable-variant convention,
+//     and a Ctx function without a context is a misleading API.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"graphpi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "check context threading: no context.Background in library code, no dropped ctx parameters",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	library := pass.Pkg.Name() != "main"
+
+	for _, fd := range pass.FuncsOf(true) {
+		if library {
+			checkNoRootContext(pass, fd)
+		}
+		checkCtxParams(pass, fd)
+		checkCtxSuffix(pass, fd)
+	}
+	return nil
+}
+
+// checkNoRootContext flags context.Background()/TODO() calls.
+func checkNoRootContext(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "context" {
+			return true
+		}
+		if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+			pass.Reportf(call.Pos(), "library code calls context.%s; accept a ctx from the caller instead of rooting a new one", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// checkCtxParams flags named context.Context parameters that the body never
+// reads: the function promises cancellability but cannot deliver it.
+func checkCtxParams(pass *analysis.Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if !isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			used := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if used {
+					return false
+				}
+				if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					used = true
+					return false
+				}
+				return true
+			})
+			if !used {
+				pass.Reportf(name.Pos(), "%s accepts %s but never uses it; thread the context through or drop the parameter", fd.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+// checkCtxSuffix enforces the `...Ctx` naming convention.
+func checkCtxSuffix(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	if !strings.HasSuffix(name, "Ctx") || name == "Ctx" {
+		return
+	}
+	params := fd.Type.Params
+	if params != nil && len(params.List) > 0 && isContextType(pass.TypesInfo.TypeOf(params.List[0].Type)) {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(), "%s is named as a context variant but does not take a context.Context first parameter", name)
+}
+
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,66 @@
+// Fixture for ctxflow: context threading in library code.
+package ctx
+
+import (
+	"context"
+	"time"
+)
+
+// CountCtx threads its context properly: checked and propagated.
+func CountCtx(ctx context.Context, tasks []int) (int64, error) {
+	var total int64
+	for _, t := range tasks {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
+		total += int64(t)
+	}
+	return total, nil
+}
+
+// run roots its own context inside a library: detached from the caller.
+func run(tasks []int) int64 {
+	ctx := context.Background() // want `library code calls context.Background`
+	n, _ := CountCtx(ctx, tasks)
+	return n
+}
+
+// todo is no better.
+func todo() context.Context {
+	return context.TODO() // want `library code calls context.TODO`
+}
+
+// DroppedCtx accepts a context and ignores it: advertises cancellability it
+// does not implement.
+func DroppedCtx(ctx context.Context, n int) int64 { // want `DroppedCtx accepts ctx but never uses it`
+	var total int64
+	for i := 0; i < n; i++ {
+		total += int64(i)
+	}
+	return total
+}
+
+// BlankCtx explicitly declines the context: allowed (interface conformance).
+func BlankCtx(_ context.Context, n int) int64 {
+	return int64(n)
+}
+
+// EnumerateCtx violates the Ctx-suffix convention: no context parameter.
+func EnumerateCtx(n int) int64 { // want `EnumerateCtx is named as a context variant but does not take a context.Context first parameter`
+	return int64(n)
+}
+
+// passing the ctx onward counts as use.
+func Relay(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+var _ = run
+var _ = todo

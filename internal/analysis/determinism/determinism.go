@@ -1,0 +1,138 @@
+// Package determinism machine-checks the engine's bit-identical-counts
+// invariant: functions on the reduced-count path, marked with a
+// `//graphpi:deterministic` directive on their declaration, must not depend
+// on iteration order or ambient entropy — and neither may anything they call
+// within the same package.
+//
+// Flagged inside the deterministic closure:
+//
+//   - `range` over a map (iteration order is randomized per run);
+//   - calls to time.Now / time.Since / time.Until (wall-clock reads);
+//   - any reference into math/rand or math/rand/v2.
+//
+// The closure is the transitive same-package static call graph rooted at the
+// annotated functions. Calls into other packages are trusted (their own
+// packages carry their own annotations); a callee that is intentionally
+// nondeterministic in a value-preserving way can be cut out of the traversal
+// with a `//graphpi:nondeterministic` directive, which documents the manual
+// argument at the definition site.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"graphpi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "check that //graphpi:deterministic functions avoid map ranges, wall clocks and math/rand transitively",
+	Run:  run,
+}
+
+// Directive marks a deterministic root; OptOut cuts a function out of the
+// traversal (with a manual determinism argument at the definition site).
+const (
+	Directive = "//graphpi:deterministic"
+	OptOut    = "//graphpi:nondeterministic"
+)
+
+func run(pass *analysis.Pass) error {
+	funcs := pass.FuncsOf(true)
+
+	// Index this package's function declarations by their object, and
+	// collect the annotated roots.
+	decls := make(map[types.Object]*ast.FuncDecl)
+	var roots []types.Object
+	optOut := make(map[types.Object]bool)
+	for _, fd := range funcs {
+		obj := pass.TypesInfo.Defs[fd.Name]
+		if obj == nil {
+			continue
+		}
+		decls[obj] = fd
+		if analysis.HasDirective(fd.Doc, OptOut) {
+			optOut[obj] = true
+			continue
+		}
+		if analysis.HasDirective(fd.Doc, Directive) {
+			roots = append(roots, obj)
+		}
+	}
+	if len(roots) == 0 {
+		return nil
+	}
+
+	// Transitive same-package closure over static calls.
+	reached := make(map[types.Object]bool)
+	queue := append([]types.Object(nil), roots...)
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		if reached[obj] || optOut[obj] {
+			continue
+		}
+		reached[obj] = true
+		fd, ok := decls[obj]
+		if !ok {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := analysis.CalleeObj(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, known := decls[callee]; known && !reached[callee] {
+				queue = append(queue, callee)
+			}
+			return true
+		})
+	}
+
+	for obj := range reached {
+		fd := decls[obj]
+		if fd == nil {
+			continue
+		}
+		checkBody(pass, fd)
+	}
+	return nil
+}
+
+func checkBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Range, "%s is on a deterministic count path but ranges over a map (iteration order is randomized)", name)
+				}
+			}
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pkgName.Imported().Path() {
+			case "time":
+				switch n.Sel.Name {
+				case "Now", "Since", "Until":
+					pass.Reportf(n.Sel.Pos(), "%s is on a deterministic count path but reads the wall clock (time.%s)", name, n.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(n.Sel.Pos(), "%s is on a deterministic count path but uses %s.%s", name, pkgName.Imported().Name(), n.Sel.Name)
+			}
+		}
+		return true
+	})
+}

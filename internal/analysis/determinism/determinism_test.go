@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"graphpi/internal/analysis/analysistest"
+	"graphpi/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "counts")
+}

@@ -1,0 +1,61 @@
+// Fixture for determinism: //graphpi:deterministic roots and their
+// transitive same-package closure.
+package counts
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Count is a reduced-count entry point: its value must be bit-identical
+// across runs and transports.
+//
+//graphpi:deterministic
+func Count(tasks []int) int64 {
+	var total int64
+	for _, t := range tasks {
+		total += kernel(t)
+	}
+	return total
+}
+
+// kernel is reached from Count, so it is checked too.
+func kernel(t int) int64 {
+	weights := map[int]int64{1: 2, 3: 4}
+	var s int64
+	for k, v := range weights { // want `kernel is on a deterministic count path but ranges over a map`
+		s += int64(k) * v
+	}
+	if t > 0 {
+		s += jitter()
+	}
+	return s
+}
+
+// jitter is also in the closure, two hops down.
+func jitter() int64 {
+	t := time.Now() // want `jitter is on a deterministic count path but reads the wall clock \(time.Now\)`
+	return t.Unix() + int64(rand.IntN(3)) // want `jitter is on a deterministic count path but uses rand.IntN`
+}
+
+// seeded is cut out of the traversal: its determinism argument (fixed seed,
+// order-independent reduction) is manual.
+//
+//graphpi:nondeterministic
+func seeded() int64 {
+	return int64(rand.IntN(10)) // not flagged: opted out
+}
+
+//graphpi:deterministic
+func CountSeeded() int64 {
+	return seeded()
+}
+
+// Unannotated functions are unconstrained.
+func Stats() time.Time {
+	m := map[string]int{"a": 1}
+	for range m {
+		break
+	}
+	return time.Now()
+}

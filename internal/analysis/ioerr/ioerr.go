@@ -1,0 +1,188 @@
+// Package ioerr machine-checks the cluster and graph IO discipline: frame
+// and snapshot write errors, flushes, and the Close of a written-to handle
+// carry the only evidence that bytes reached their destination, so
+// discarding them silently is forbidden.
+//
+// In packages named cluster or graph (the wire protocol and the on-disk
+// snapshot formats), ioerr flags:
+//
+//   - an expression statement discarding the error of a write-family call:
+//     writeFrame, write, Write*, Flush, Sync or Close (never-failing writers
+//     like *bytes.Buffer and *strings.Builder are exempt);
+//   - a `defer x.Close()` that discards the error when x is also written to
+//     in the same function — the deferred Close is the write path's last
+//     failure point, so its error must reach the caller.
+//
+// An explicit `_ = call(...)` assignment is accepted as a documented
+// discard: it states that the error was considered and deliberately
+// dropped (a best-effort error report on an already-failing connection, a
+// read-side Close). The cleanup that introduced this check converted every
+// silent discard to either real handling or the explicit form.
+package ioerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"graphpi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ioerr",
+	Doc:  "check that frame/snapshot write and Close errors are not silently discarded",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	switch pass.Pkg.Name() {
+	case "cluster", "graph":
+	default:
+		return nil
+	}
+
+	for _, fd := range pass.FuncsOf(true) {
+		written := writtenValues(pass, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscard(pass, fd, call, written, false)
+				}
+			case *ast.DeferStmt:
+				checkDiscard(pass, fd, n.Call, written, true)
+			case *ast.GoStmt:
+				return true // bodies of `go func(){...}` are walked as part of the inspect
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscard reports a write-family call whose error result is dropped.
+func checkDiscard(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, written map[types.Object]bool, deferred bool) {
+	name := analysis.CalleeName(call)
+	if !writeFamily(name) {
+		return
+	}
+	if !returnsError(pass, call) {
+		return
+	}
+	if neverFails(pass, call) {
+		return
+	}
+	if name == "Close" || name == "close" {
+		// Close on a read-only handle may be discarded when deferred; a
+		// deferred Close of a written-to value loses the final write error.
+		if deferred && !isWritten(pass, call, written) {
+			return
+		}
+		if deferred {
+			pass.Reportf(call.Pos(), "%s defers Close on a written-to value and discards its error; the final write failure is lost (return it, or `_ =` with a reason)", fd.Name.Name)
+			return
+		}
+		pass.Reportf(call.Pos(), "%s discards the error from Close; handle it or discard explicitly with `_ =`", fd.Name.Name)
+		return
+	}
+	pass.Reportf(call.Pos(), "%s discards the error from %s; a lost write error here breaks the wire/snapshot contract (handle it, or `_ =` with a reason)", fd.Name.Name, name)
+}
+
+func writeFamily(name string) bool {
+	switch name {
+	case "Flush", "Sync", "Close", "close":
+		return true
+	}
+	return strings.HasPrefix(name, "write") || strings.HasPrefix(name, "Write")
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// neverFails exempts receivers whose write family cannot return a non-nil
+// error in practice.
+func neverFails(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	switch t.String() {
+	case "*bytes.Buffer", "bytes.Buffer", "*strings.Builder", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+// writtenValues collects objects that a write-family call writes to in this
+// function: method receivers of Write*/Flush/Sync calls and arguments of
+// write-family function calls.
+func writtenValues(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := analysis.CalleeName(call)
+		wraps := name == "NewWriter" || name == "NewWriterSize" // bufio-style wrapping is write intent
+		if !wraps && (!writeFamily(name) || name == "Close" || name == "close") {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isWritten reports whether the Close call's receiver is one of the
+// function's written-to values.
+func isWritten(pass *analysis.Pass, call *ast.CallExpr, written map[types.Object]bool) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	return obj != nil && written[obj]
+}

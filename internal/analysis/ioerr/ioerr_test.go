@@ -1,0 +1,12 @@
+package ioerr_test
+
+import (
+	"testing"
+
+	"graphpi/internal/analysis/analysistest"
+	"graphpi/internal/analysis/ioerr"
+)
+
+func TestIoerr(t *testing.T) {
+	analysistest.Run(t, "testdata", ioerr.Analyzer, "cluster")
+}

@@ -1,0 +1,80 @@
+// Fixture for ioerr: discarded write/flush/close errors in a wire-protocol
+// package (the check gates on packages named cluster or graph).
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"os"
+)
+
+func writeFrame(w io.Writer, typ uint8, payload []byte) error {
+	_, err := w.Write(append([]byte{typ}, payload...))
+	return err
+}
+
+type conn struct{ w io.Writer }
+
+func (c *conn) write(typ uint8, payload []byte) error {
+	return writeFrame(c.w, typ, payload)
+}
+
+func reject(c *conn, msg string) error {
+	c.write(1, []byte(msg)) // want `reject discards the error from write`
+	return io.ErrClosedPipe
+}
+
+func rejectExplicit(c *conn, msg string) error {
+	// Best-effort report on an already-failing path: explicit discard OK.
+	_ = c.write(1, []byte(msg))
+	return io.ErrClosedPipe
+}
+
+func handled(c *conn) error {
+	if err := c.write(2, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+func bareFrame(w io.Writer) {
+	writeFrame(w, 3, nil) // want `bareFrame discards the error from writeFrame`
+}
+
+func snapshot(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `snapshot defers Close on a written-to value`
+	bw := bufio.NewWriter(f)
+	if _, err := bw.Write(data); err != nil {
+		return err
+	}
+	bw.Flush() // want `snapshot discards the error from Flush`
+	return nil
+}
+
+func load(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // read-only handle: deferred Close discard is fine
+	return io.ReadAll(f)
+}
+
+func closeDropped(f *os.File) {
+	f.Close() // want `closeDropped discards the error from Close`
+}
+
+func closeExplicit(f *os.File) {
+	_ = f.Close() // considered and dropped: fine
+}
+
+func buffered(data []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(data) // *bytes.Buffer never fails: exempt
+	return buf.Bytes()
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+)
+
+// ParseFiles parses the named Go files into one package's syntax.
+func ParseFiles(fset *token.FileSet, filenames []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// TypeCheck type-checks one package's parsed files with the given importer
+// and returns the package and its full types.Info. Soft errors (unused
+// variables and such) do not abort; hard type errors do.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tcfg := &types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect everything; the returned error decides
+	}
+	if goVersion != "" {
+		tcfg.GoVersion = goVersion
+	}
+	pkg, err := tcfg.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return pkg, info, nil
+}
+
+// RunAnalyzers runs each analyzer over an already-loaded package, funneling
+// findings to report. The first analyzer failure aborts.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(*Analyzer, Diagnostic)) error {
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+		}
+		pass.Report = func(d Diagnostic) { report(a, d) }
+		if err := a.Run(pass); err != nil {
+			return fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+// Package lockcheck machine-checks the `// guarded by <mu>` annotation
+// convention: a struct field whose declaration comment contains the phrase
+// `guarded by <name>` may only be read or written in functions that lock a
+// mutex of that name first.
+//
+// The annotation names the guarding mutex by its field name:
+//
+//	mu    sync.Mutex
+//	tr    transport // guarded by mu
+//	state int       // guarded by mu
+//
+// The guard may live on another struct (`// guarded by the transport's mu`);
+// the check matches the mutex by its final name component, so any
+// `<x>.mu.Lock()` in the accessing function satisfies a `guarded by mu`
+// annotation.
+//
+// The check is deliberately flow-light (this is a convention checker, not a
+// race detector): an access to a guarded field is accepted when the
+// enclosing function, earlier in source order, calls `<x>.Lock()` or
+// `<x>.RLock()` where the locked expression's final component is the guard
+// name (t.mu.Lock(), h.mu.Lock(), mu.Lock() ...). Functions whose name ends
+// in "Locked" are callee-side helpers and exempt by convention, as are
+// composite literals (construction happens before the value is shared) and
+// test files. False positives — a field handed off before the struct
+// escapes, for example — carry a `//graphpivet:ignore` comment with the
+// reason.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"graphpi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "check that fields annotated `guarded by <mu>` are accessed under that mutex",
+	Run:  run,
+}
+
+// guardRE extracts the guard name: the last dotted component after
+// "guarded by", tolerating prose like "guarded by the transport's mu".
+var guardRE = regexp.MustCompile(`guarded by (?:the )?(?:[\w]+'s )?([\w.]+)`)
+
+func run(pass *analysis.Pass) error {
+	guards := annotatedFields(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+
+	for _, fd := range pass.FuncsOf(true) {
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			continue
+		}
+		lockPos := lockSites(pass, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			guard, annotated := guards[selection.Obj()]
+			if !annotated {
+				return true
+			}
+			for _, lp := range lockPos[guard] {
+				if lp < sel.Pos() {
+					return true // a <guard>.Lock() precedes the access
+				}
+			}
+			pass.Reportf(sel.Sel.Pos(), "%s is guarded by %s, but %s accesses it without locking %s first",
+				selection.Obj().Name(), guard, fd.Name.Name, guard)
+			return true
+		})
+	}
+	return nil
+}
+
+// annotatedFields maps each field object bearing a `guarded by` annotation
+// to its guard's (unqualified) name. Both the doc comment above the field
+// and the trailing line comment are honored.
+func annotatedFields(pass *analysis.Pass) map[types.Object]string {
+	out := make(map[types.Object]string)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				guard := guardName(field.Doc)
+				if guard == "" {
+					guard = guardName(field.Comment)
+				}
+				if guard == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						out[obj] = guard
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func guardName(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	m := guardRE.FindStringSubmatch(cg.Text())
+	if m == nil {
+		return ""
+	}
+	name := strings.TrimRight(m[1], ".")
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// lockSites collects, per mutex name, the source positions of
+// `<...>.<name>.Lock()` and `<...>.<name>.RLock()` calls in the body.
+func lockSites(pass *analysis.Pass, body *ast.BlockStmt) map[string][]token.Pos {
+	out := make(map[string][]token.Pos)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method := analysis.CalleeName(call)
+		if method != "Lock" && method != "RLock" {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch recv := ast.Unparen(sel.X).(type) {
+		case *ast.Ident:
+			out[recv.Name] = append(out[recv.Name], call.Pos())
+		case *ast.SelectorExpr:
+			out[recv.Sel.Name] = append(out[recv.Sel.Name], call.Pos())
+		}
+		return true
+	})
+	return out
+}

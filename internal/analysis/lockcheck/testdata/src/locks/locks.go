@@ -1,0 +1,80 @@
+// Fixture for lockcheck: the `// guarded by <mu>` annotation convention.
+package locks
+
+import "sync"
+
+type pool struct {
+	mu sync.Mutex
+
+	// live is the connected-worker count, guarded by mu.
+	live  int
+	stats []int64 // guarded by mu
+	name  string  // unannotated: free access
+}
+
+func (p *pool) Good() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.live
+}
+
+func (p *pool) Bad() int {
+	return p.live // want `live is guarded by mu, but Bad accesses it without locking mu first`
+}
+
+func (p *pool) BadWrite() {
+	p.stats = append(p.stats, 1) // want `stats is guarded by mu` `stats is guarded by mu`
+	p.mu.Lock()                  // too late: the access above precedes the Lock
+	defer p.mu.Unlock()
+}
+
+func (p *pool) Free() string {
+	return p.name // unannotated field: fine
+}
+
+// sumLocked is exempt by the Locked-suffix convention: callers hold mu.
+func (p *pool) sumLocked() int64 {
+	var s int64
+	for _, v := range p.stats {
+		s += v
+	}
+	return s
+}
+
+func (p *pool) rlockOK(other *sync.RWMutex) int {
+	_ = other
+	p.mu.Lock()
+	n := p.live
+	p.mu.Unlock()
+	return n
+}
+
+// escape hatch: a considered unsynchronized access carries the directive.
+func (p *pool) snapshotRacy() int {
+	return p.live //graphpivet:ignore — monitoring-only read, staleness accepted
+}
+
+// cross-struct guards: the annotation names the owning struct's mutex; any
+// lock of that name satisfies it.
+type owner struct {
+	mu    sync.RWMutex
+	links []*slot
+}
+
+type slot struct {
+	lost bool // guarded by the owner's mu
+}
+
+func (o *owner) sweep() {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	for _, s := range o.links {
+		if s.lost {
+			return
+		}
+	}
+}
+
+func (o *owner) leak() bool {
+	return o.links[0].lost // want `lost is guarded by mu, but leak accesses it without locking mu first`
+}

@@ -1,0 +1,246 @@
+package analysis
+
+// This file implements the (unpublished but stable) `go vet -vettool`
+// driver protocol, so cmd/graphpivet can be run by the standard build
+// machinery over the whole tree:
+//
+//	go build -o bin/graphpivet ./cmd/graphpivet
+//	go vet -vettool=$PWD/bin/graphpivet ./...
+//
+// The protocol, as implemented by cmd/go (see src/cmd/go/internal/work's
+// vetConfig and src/cmd/go/internal/vet/vetflag.go):
+//
+//   - `tool -flags` must print a JSON array of {Name,Bool,Usage} flag
+//     descriptions; go vet forwards any of those the user set.
+//   - `tool -V=full` must print "name version ..." (build-cache stamping).
+//   - `tool [flags] path/to/vet.cfg` must analyze the single package unit
+//     described by the JSON config: parse cfg.GoFiles, type-check against
+//     the export data files in cfg.PackageFile (keyed through cfg.ImportMap),
+//     write cfg.VetxOutput (facts; empty for graphpivet — its analyzers are
+//     package-local), print diagnostics as "file:line:col: message" lines and
+//     exit nonzero when there are findings.
+//
+// x/tools' unitchecker is the reference implementation; this one is cut down
+// to what graphpivet needs: no facts, no JSON diagnostics, gc toolchain only.
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// unitConfig mirrors cmd/go's vetConfig (the fields graphpivet consumes).
+type unitConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+	GoVersion   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the multichecker entry point for a vettool binary.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// Selection flags: -<name> / -<name>=true|false, plus the protocol's
+	// -flags and -V=<mode>. Anything else must be the single cfg path.
+	enabled := make(map[string]bool)
+	var cfgPath string
+	for _, arg := range args {
+		switch {
+		case arg == "-flags":
+			printFlags(analyzers)
+			return
+		case strings.HasPrefix(arg, "-V"):
+			// cmd/go stamps tools with `-V=full` and, for a "devel" version,
+			// requires a trailing buildID= field (see cmd/go's toolID). Hash
+			// the binary itself so rebuilding the tool invalidates vet's
+			// cached results.
+			fmt.Printf("%s version devel buildID=%s\n", progname, selfID())
+			return
+		case strings.HasPrefix(arg, "-"):
+			name := strings.TrimPrefix(arg, "-")
+			val := true
+			if i := strings.IndexByte(name, '='); i >= 0 {
+				val = name[i+1:] == "true"
+				name = name[:i]
+			}
+			known := false
+			for _, a := range analyzers {
+				if a.Name == name {
+					known = true
+					break
+				}
+			}
+			if !known {
+				fmt.Fprintf(os.Stderr, "%s: unknown flag %s\n", progname, arg)
+				os.Exit(2)
+			}
+			enabled[name] = val
+			continue
+		default:
+			if cfgPath != "" {
+				fmt.Fprintf(os.Stderr, "%s: usage: %s [-<analyzer>...] unit.cfg\n", progname, progname)
+				os.Exit(2)
+			}
+			cfgPath = arg
+		}
+	}
+	if cfgPath == "" {
+		fmt.Fprintf(os.Stderr, "%s: this is a vet tool; run via go vet -vettool=%s ./...\n", progname, progname)
+		os.Exit(2)
+	}
+
+	// Vet semantics: naming any analyzer runs only the named ones;
+	// explicit -name=false excludes from the full set.
+	run := analyzers
+	anyOn := false
+	for _, on := range enabled {
+		if on {
+			anyOn = true
+		}
+	}
+	if len(enabled) > 0 {
+		run = nil
+		for _, a := range analyzers {
+			on, named := enabled[a.Name]
+			if (anyOn && named && on) || (!anyOn && !named) {
+				run = append(run, a)
+			}
+		}
+	}
+
+	code, err := analyzeUnit(cfgPath, run)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// selfID is a content hash of the running tool binary, used as its build ID.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("%x", sum[:12])
+}
+
+func printFlags(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	for _, a := range analyzers {
+		usage := a.Doc
+		if i := strings.IndexByte(usage, '\n'); i >= 0 {
+			usage = usage[:i]
+		}
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: usage})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		panic(err)
+	}
+	os.Stdout.Write(data)
+}
+
+func analyzeUnit(cfgPath string, analyzers []*Analyzer) (exit int, err error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg unitConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// graphpivet computes no cross-package facts, but cmd/go caches the
+	// vetx artifact, so always produce (an empty) one.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	if cfg.Compiler != "" && cfg.Compiler != "gc" {
+		return 0, fmt.Errorf("unsupported compiler %q", cfg.Compiler)
+	}
+
+	fset := token.NewFileSet()
+	files, err := ParseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	// Imports resolve through the export data cmd/go already built: source
+	// import path -> canonical path (ImportMap) -> export file (PackageFile).
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	pkg, info, err := TypeCheck(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+
+	var diags []string
+	report := func(a *Analyzer, d Diagnostic) {
+		diags = append(diags, fmt.Sprintf("%s: %s [%s]", fset.Position(d.Pos), d.Message, a.Name))
+	}
+	if err := RunAnalyzers(analyzers, fset, files, pkg, info, report); err != nil {
+		return 0, err
+	}
+	if len(diags) == 0 {
+		return 0, nil
+	}
+	sort.Strings(diags)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2, nil
+}

@@ -1,0 +1,12 @@
+package wirecheck_test
+
+import (
+	"testing"
+
+	"graphpi/internal/analysis/analysistest"
+	"graphpi/internal/analysis/wirecheck"
+)
+
+func TestWirecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", wirecheck.Analyzer, "cluster")
+}

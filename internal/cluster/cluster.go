@@ -242,17 +242,27 @@ func Run(cfg *core.Config, g *graph.Graph, opt Options) (*Result, error) {
 		Nodes:        make([]NodeStats, nranks),
 		EdgeParallel: edgePar,
 	}
+	res.Count = reducePartials(cfg, opt.UseIEP, partials, res.Nodes)
+	return res, nil
+}
+
+// reducePartials folds the per-rank partial counts into the job total (and
+// copies out per-node stats). The fold is the cluster layer's only
+// count-bearing arithmetic, and it must be reproducible: partials arrive in
+// rank order and sum associatively, so the total is independent of which
+// rank finished first.
+//
+//graphpi:deterministic
+func reducePartials(cfg *core.Config, useIEP bool, partials []RankResult, nodes []NodeStats) int64 {
 	var raw int64
 	for i, p := range partials {
 		raw += p.Raw
-		res.Nodes[i] = p.Stats
+		nodes[i] = p.Stats
 	}
-	if opt.UseIEP {
-		res.Count = cfg.ScaleIEP(raw)
-	} else {
-		res.Count = raw
+	if useIEP {
+		return cfg.ScaleIEP(raw)
 	}
-	return res, nil
+	return raw
 }
 
 // String renders per-node statistics compactly.

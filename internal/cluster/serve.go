@@ -51,7 +51,7 @@ const handshakeTimeout = 10 * time.Second
 // persists across connections, so a redialing master does not re-push.
 type graphHolder struct {
 	mu sync.Mutex
-	g  *graph.Graph
+	g  *graph.Graph // guarded by mu
 }
 
 func (h *graphHolder) get() *graph.Graph {
@@ -109,7 +109,7 @@ func serveConn(conn net.Conn, holder *graphHolder, opt ServeOptions) error {
 		return fmt.Errorf("expected hello, got frame type %d", typ)
 	}
 	if err := decodeHello(payload); err != nil {
-		writeFrame(conn, msgError, []byte(err.Error()))
+		_ = writeFrame(conn, msgError, []byte(err.Error())) // best-effort report; the decode error is what matters
 		return err
 	}
 	var fp graphFingerprint
@@ -154,7 +154,7 @@ func serveConn(conn net.Conn, holder *graphHolder, opt ServeOptions) error {
 func receiveSnapshot(conn net.Conn, br *bufio.Reader, holder *graphHolder, opt ServeOptions, beginPayload []byte) error {
 	total, err := decodeSnapBegin(beginPayload)
 	if err != nil {
-		writeFrame(conn, msgError, []byte(err.Error()))
+		_ = writeFrame(conn, msgError, []byte(err.Error())) // best-effort report; the decode error is what matters
 		return err
 	}
 	buf := bytes.NewBuffer(make([]byte, 0, total))
@@ -171,19 +171,19 @@ func receiveSnapshot(conn net.Conn, br *bufio.Reader, holder *graphHolder, opt S
 		}
 		if int64(buf.Len())+int64(len(payload)) > total {
 			err := fmt.Errorf("snapshot overruns advertised length %d", total)
-			writeFrame(conn, msgError, []byte(err.Error()))
+			_ = writeFrame(conn, msgError, []byte(err.Error())) // best-effort report before tearing down
 			return err
 		}
 		buf.Write(payload)
 	}
 	if int64(buf.Len()) != total {
 		err := fmt.Errorf("snapshot truncated: got %d of %d bytes", buf.Len(), total)
-		writeFrame(conn, msgError, []byte(err.Error()))
+		_ = writeFrame(conn, msgError, []byte(err.Error())) // best-effort report before tearing down
 		return err
 	}
 	g, err := graph.ReadBinary(bytes.NewReader(buf.Bytes()))
 	if err != nil {
-		writeFrame(conn, msgError, []byte(fmt.Sprintf("loading pushed snapshot: %v", err)))
+		_ = writeFrame(conn, msgError, []byte(fmt.Sprintf("loading pushed snapshot: %v", err))) // best-effort report; the load error is what matters
 		return err
 	}
 	holder.set(g)
@@ -226,7 +226,7 @@ const stealReplyTimeout = 100 * time.Millisecond
 func runWorkerJob(conn net.Conn, br *bufio.Reader, holder *graphHolder, opt ServeOptions, jobPayload []byte) error {
 	spec, err := decodeJob(jobPayload)
 	if err != nil {
-		writeFrame(conn, msgError, []byte(err.Error()))
+		_ = writeFrame(conn, msgError, []byte(err.Error())) // best-effort report; the decode error is what matters
 		return err
 	}
 	g := holder.get()
@@ -308,7 +308,7 @@ func runWorkerJob(conn net.Conn, br *bufio.Reader, holder *graphHolder, opt Serv
 		}
 		if injectFault && completed.Add(1) == int64(job.FailAfterTasks) {
 			halt.Store(true)
-			conn.Close()
+			_ = conn.Close() // simulated crash: abrupt teardown is the point
 		}
 	}
 

@@ -79,7 +79,9 @@ type tcpTransport struct {
 	opt    DialOptions
 	closed atomic.Bool
 
-	mu    sync.Mutex // guards link lifecycle state (lost/attempts/conn swaps)
+	mu sync.Mutex // guards each link's lifecycle state (lost/attempts/conn swaps)
+	// links is append-only during DialTCP (pre-publication) and immutable
+	// after; concurrent readers need no lock for the slice itself.
 	links []*workerLink
 
 	rejoins atomic.Int64
@@ -102,10 +104,10 @@ type workerLink struct {
 	fp         graphFingerprint
 	hasGraph   bool
 
-	// redial state, guarded by the transport's mu.
-	lost     bool
-	attempts int
-	nextTry  time.Time
+	// Redial state; lockcheck enforces the guard annotations below.
+	lost     bool      // guarded by the transport's mu
+	attempts int       // guarded by the transport's mu
+	nextTry  time.Time // guarded by the transport's mu
 }
 
 func (l *workerLink) write(typ uint8, payload []byte) error {
@@ -126,7 +128,7 @@ func DialTCP(addrs []string, opt DialOptions) (Transport, error) {
 	for _, addr := range addrs {
 		link, err := dialWorker(addr, t.timeout())
 		if err != nil {
-			t.Close()
+			_ = t.Close() // dial error takes precedence over teardown
 			return nil, fmt.Errorf("cluster: worker %s: %w", addr, err)
 		}
 		t.links = append(t.links, link)
@@ -144,7 +146,7 @@ func DialTCP(addrs []string, opt DialOptions) (Transport, error) {
 			continue
 		}
 		if err := ref.fp.check(l.fp); err != nil {
-			t.Close()
+			_ = t.Close() // mismatch error takes precedence over teardown
 			return nil, fmt.Errorf("cluster: workers %s and %s hold different replicas: %w",
 				ref.addr, l.addr, err)
 		}
@@ -193,7 +195,7 @@ func (t *tcpTransport) markLost(l *workerLink) {
 	l.attempts = 0
 	l.nextTry = time.Time{} // first retry is immediate
 	t.losses.Add(1)
-	l.conn.Close()
+	_ = l.conn.Close() // link is being retired; the redial path owns recovery
 }
 
 // Ranks answers with the live worker count — the caller's requested node
@@ -309,36 +311,35 @@ func dialWorker(addr string, timeout time.Duration) (*workerLink, error) {
 		return nil, err
 	}
 	l := &workerLink{addr: addr, conn: conn, br: bufio.NewReader(conn)}
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		conn.Close()
+	// Every failure below abandons the half-open connection; the handshake
+	// error takes precedence over the Close result.
+	fail := func(err error) (*workerLink, error) {
+		_ = conn.Close()
 		return nil, err
 	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return fail(err)
+	}
 	if err := l.write(msgHello, encodeHello()); err != nil {
-		conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	typ, payload, err := readFrame(l.br)
 	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("handshake: %w", err)
+		return fail(fmt.Errorf("handshake: %w", err))
 	}
 	switch typ {
 	case msgWelcome:
 	case msgError:
-		conn.Close()
-		return nil, fmt.Errorf("worker rejected handshake: %s", payload)
+		return fail(fmt.Errorf("worker rejected handshake: %s", payload))
 	default:
-		conn.Close()
-		return nil, fmt.Errorf("handshake: unexpected frame type %d", typ)
+		return fail(fmt.Errorf("handshake: unexpected frame type %d", typ))
 	}
 	l.advWorkers, l.fp, l.hasGraph, err = decodeWelcome(payload)
 	if err != nil {
-		conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	if err := conn.SetDeadline(time.Time{}); err != nil {
-		conn.Close()
-		return nil, err
+		return fail(err)
 	}
 	return l, nil
 }

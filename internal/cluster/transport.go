@@ -128,8 +128,8 @@ const (
 type rank struct {
 	id    int
 	mu    sync.Mutex
-	queue []taskpool.Range
-	head  int
+	queue []taskpool.Range // guarded by mu
+	head  int              // guarded by mu
 
 	// dead marks a rank that stopped executing (fault injection or loss):
 	// peers may then steal its entire queue instead of half, so no task is

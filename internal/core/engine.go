@@ -93,6 +93,8 @@ func avgSlotsPerVertex(m, nv int) int {
 // enumerating the full loop nest (no IEP). If the restriction set is
 // complete, each embedding is counted exactly once; with an empty set the
 // result counts every automorphic image (|Aut| per embedding).
+//
+//graphpi:deterministic
 func (c *Config) Count(g *graph.Graph, opt RunOptions) int64 {
 	n, _ := c.execute(g, opt, false, nil)
 	return n
@@ -113,6 +115,8 @@ func (c *Config) CountIEPTimed(g *graph.Graph, opt RunOptions) (count int64, com
 // CountIEP counts embeddings using the Inclusion-Exclusion Principle over
 // the configuration's independent innermost loops (paper §IV-D). Results
 // equal Count for complete restriction sets, typically far faster.
+//
+//graphpi:deterministic
 func (c *Config) CountIEP(g *graph.Graph, opt RunOptions) int64 {
 	n, _ := c.execute(g, opt, true, nil)
 	return n

@@ -372,7 +372,7 @@ func SaveBinaryFile(path string, g *Graph) error {
 		return err
 	}
 	if err := WriteBinary(f, g); err != nil {
-		f.Close()
+		_ = f.Close() // the write error takes precedence
 		return err
 	}
 	return f.Close()

@@ -108,6 +108,8 @@ func (c *Calculator) K() int { return c.k }
 // Count returns the number of distinct-entry tuples (e_1,…,e_k) with
 // e_i ∈ sets[i] \ excluded. sets[i] must be ascending; excluded is the list
 // of already-bound data vertices (not necessarily sorted, typically tiny).
+//
+//graphpi:deterministic
 func (c *Calculator) Count(sets [][]uint32, excluded []uint32) int64 {
 	return c.CountHybrid(sets, nil, excluded)
 }
@@ -117,6 +119,8 @@ func (c *Calculator) Count(sets [][]uint32, excluded []uint32) int64 {
 // layer), letting the internal intersections run the O(|small|) bitmap kernel
 // instead of the scalar merge. bms may be nil or must have len(bms) == k.
 // The result is identical to Count.
+//
+//graphpi:deterministic
 func (c *Calculator) CountHybrid(sets [][]uint32, bms []vertexset.Bitmap, excluded []uint32) int64 {
 	if len(sets) != c.k {
 		panic("iep: set count mismatch")

@@ -57,11 +57,11 @@ type clusterBackend struct {
 	retries        int // extra attempts after the first (≥ 0)
 
 	jobMu sync.Mutex // one wire job at a time
-	mu    sync.Mutex // guards tr and base
-	tr    cluster.Transport
+	mu    sync.Mutex
+	tr    cluster.Transport // guarded by mu
 	// base accumulates recovery counters from transports that were dropped
 	// (cancellation, close), so /metrics totals survive redials.
-	base cluster.PoolStats
+	base cluster.PoolStats // guarded by mu
 
 	jobRetries atomic.Int64
 }
