@@ -65,6 +65,8 @@ func main() {
 		hubFloor    = flag.Int("hub-floor", 0, "minimum degree for a hub bitmap with -hybrid (0 = default 64)")
 		baseline    = flag.Bool("graphzero", false, "plan like the GraphZero baseline")
 		edgePar     = flag.String("edge-parallel", "auto", "root task shape: auto, on, or off")
+		tierName    = flag.String("tier", "auto", "counting execution tier: auto, interpret, compiled or generated")
+		compiled    = flag.Bool("compiled", false, "shorthand for -tier compiled")
 		nodes       = flag.Int("nodes", 0, "count on a simulated cluster with this many nodes (0 = single process)")
 		nodeWorkers = flag.Int("node-workers", 2, "worker goroutines per simulated node with -nodes")
 		serveAddr   = flag.String("serve", "", "run as a cluster worker process listening on this address (e.g. :9421)")
@@ -93,8 +95,17 @@ func main() {
 		clusterWk:   *clusterWk,
 		list:        *list,
 		emitGo:      *emitGo,
+		tierName:    *tierName,
+		compiled:    *compiled,
 	}); err != nil {
 		failUsage(err)
+	}
+	tier, err := graphpi.ParseTier(*tierName)
+	if err != nil {
+		failUsage(err)
+	}
+	if *compiled {
+		tier = graphpi.TierCompiled
 	}
 	workerAddrs, err := parseAddrList("-join", *joinAddrs)
 	if err != nil {
@@ -148,7 +159,7 @@ func main() {
 	}
 	fmt.Printf("pattern: %s\n", p)
 
-	opts := []graphpi.Option{graphpi.WithWorkers(*workers)}
+	opts := []graphpi.Option{graphpi.WithWorkers(*workers), graphpi.WithTier(tier)}
 	if *baseline {
 		opts = append(opts, graphpi.WithGraphZeroBaseline())
 	}
@@ -165,6 +176,9 @@ func main() {
 		if *workers != 0 {
 			fmt.Fprintln(os.Stderr, "graphpi: -workers is ignored in cluster modes; use -node-workers")
 		}
+		if tier != graphpi.TierAuto {
+			fmt.Fprintln(os.Stderr, "graphpi: -tier/-compiled are ignored in cluster modes (the data plane interprets)")
+		}
 		runCluster(g, p, *nodes, *nodeWorkers, *useIEP, workerAddrs, opts)
 		return
 	}
@@ -173,6 +187,9 @@ func main() {
 		fail(err)
 	}
 	fmt.Printf("plan: %s (preprocessing %v)\n", plan.Describe(), plan.PrepTime().Round(time.Microsecond))
+	if !*list {
+		fmt.Printf("tier: %s\n", plan.ExecutionTier(*useIEP))
+	}
 
 	if *emitGo != "" {
 		src, err := plan.GenerateSource()
@@ -215,6 +232,8 @@ type flagState struct {
 	serveAddr, joinAddrs, serverAddr string
 	clusterWk, emitGo                string
 	list                             bool
+	tierName                         string
+	compiled                         bool
 }
 
 // validateFlags rejects unusable combinations up front, instead of
@@ -284,6 +303,22 @@ func validateFlags(f flagState) error {
 			return fmt.Errorf("-serve cannot be combined with -list or -emit-go")
 		case f.joinAddrs != "" || f.nodes > 0:
 			return fmt.Errorf("cluster modes count only; they cannot be combined with -list or -emit-go")
+		}
+	}
+
+	// Tier flags steer the one-shot query engine. -compiled is sugar for
+	// -tier compiled, so naming a *different* tier alongside it is a
+	// contradiction, not a preference. "" and "auto" both mean the default.
+	explicitTier := f.tierName != "" && f.tierName != "auto"
+	if f.compiled && explicitTier && f.tierName != "compiled" {
+		return fmt.Errorf("-compiled contradicts -tier %s (drop one)", f.tierName)
+	}
+	if f.compiled || explicitTier {
+		switch {
+		case f.serverAddr != "":
+			return fmt.Errorf("-tier/-compiled do not apply to -server (pass tier= per query instead)")
+		case f.serveAddr != "":
+			return fmt.Errorf("-tier/-compiled do not apply to -serve (the cluster data plane interprets)")
 		}
 	}
 	return nil

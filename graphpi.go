@@ -272,6 +272,7 @@ type options struct {
 	maxSets   int
 	baseline  bool
 	edgePar   core.EdgeParallelMode
+	tier      core.Tier
 }
 
 // WithWorkers sets the number of worker goroutines (default: GOMAXPROCS).
@@ -300,6 +301,28 @@ func WithEdgeParallelRoots(enabled bool) Option {
 		}
 	}
 }
+
+// Tier selects the execution tier counting runs use: TierAuto (the
+// default) picks the fastest applicable — a checked-in generated kernel for
+// total-order-restricted cliques, else runtime-compiled closures — while
+// TierInterpreted forces the loop-program interpreter. All tiers return
+// bit-identical counts; the choice is purely about speed. Enumeration
+// always interprets.
+type Tier = core.Tier
+
+const (
+	TierAuto        = core.TierAuto
+	TierInterpreted = core.TierInterpret
+	TierCompiled    = core.TierCompiled
+	TierGenerated   = core.TierGenerated
+)
+
+// WithTier selects the counting execution tier (see Tier).
+func WithTier(t Tier) Option { return func(o *options) { o.tier = t } }
+
+// ParseTier parses a tier name as accepted by the CLI and the query service
+// ("auto", "interpret"/"interpreted", "compiled", "generated").
+func ParseTier(s string) (Tier, error) { return core.ParseTier(s) }
 
 // Plan is a compiled, ready-to-run matching configuration for one
 // (graph, pattern) pair.
@@ -380,6 +403,16 @@ func (pl *Plan) PrepTime() time.Duration { return pl.prep }
 // selected configuration (relative units).
 func (pl *Plan) PredictedCost() float64 { return pl.cfg.Cost }
 
+// ExecutionTier reports the tier a Count/CountIEP call on this plan will
+// actually run on: TierAuto resolves to the fastest applicable kernel, and
+// an unsatisfiable request (e.g. TierGenerated for a pattern with no static
+// kernel) resolves to the interpreter — the same silent fallback the engine
+// takes. useIEP must match the intended counting call; the compiled shapes
+// differ.
+func (pl *Plan) ExecutionTier(useIEP bool) Tier {
+	return pl.cfg.ResolveTier(pl.g.g, pl.opts.tier, useIEP)
+}
+
 // Describe renders the chosen schedule and restriction set.
 func (pl *Plan) Describe() string {
 	return fmt.Sprintf("schedule %s, restrictions %s, predicted cost %.4g, IEP k=%d",
@@ -391,6 +424,7 @@ func (pl *Plan) runOptions() core.RunOptions {
 		Workers:      pl.opts.workers,
 		ChunkSize:    pl.opts.chunkSize,
 		EdgeParallel: pl.opts.edgePar,
+		Tier:         pl.opts.tier,
 	}
 }
 
@@ -399,7 +433,7 @@ func (pl *Plan) runOptions() core.RunOptions {
 // package that loads an edge-list graph from argv[1], runs the hard-coded
 // loop nest with the plan's restrictions, and prints the embedding count.
 func (pl *Plan) GenerateSource() (string, error) {
-	return codegen.GenerateSource(pl.cfg)
+	return codegen.GenerateSource(pl.cfg.SourceSpec())
 }
 
 // Count is the one-shot convenience API: plan and count with IEP.

@@ -78,17 +78,26 @@ func run(pass *analysis.Pass) error {
 		if !ok {
 			continue
 		}
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := analysis.CalleeObj(pass.TypesInfo, call)
+		enqueue := func(callee *types.Func) {
 			if callee == nil || callee.Pkg() != pass.Pkg {
-				return true
+				return
 			}
 			if _, known := decls[callee]; known && !reached[callee] {
 				queue = append(queue, callee)
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				enqueue(analysis.CalleeObj(pass.TypesInfo, n))
+			case *ast.Ident:
+				// A bare function reference (stored in a variable, returned
+				// as a closure, passed as a value — the compiled-kernel
+				// constructors do all three) pulls the function into the
+				// closure even though no direct call site exists.
+				if fn, ok := pass.TypesInfo.Uses[n].(*types.Func); ok {
+					enqueue(fn)
+				}
 			}
 			return true
 		})

@@ -34,7 +34,7 @@ func kernel(t int) int64 {
 
 // jitter is also in the closure, two hops down.
 func jitter() int64 {
-	t := time.Now() // want `jitter is on a deterministic count path but reads the wall clock \(time.Now\)`
+	t := time.Now()                       // want `jitter is on a deterministic count path but reads the wall clock \(time.Now\)`
 	return t.Unix() + int64(rand.IntN(3)) // want `jitter is on a deterministic count path but uses rand.IntN`
 }
 
@@ -49,6 +49,21 @@ func seeded() int64 {
 //graphpi:deterministic
 func CountSeeded() int64 {
 	return seeded()
+}
+
+// CompileCount mimics the compiled-kernel constructors: the leaf function
+// is never called here, only referenced as a value and wrapped in closures.
+// The reference alone must pull it into the checked closure.
+//
+//graphpi:deterministic
+func CompileCount() func() int64 {
+	leaf := leafCount
+	return func() int64 { return leaf() + 1 }
+}
+
+// leafCount is reached via the function value in CompileCount.
+func leafCount() int64 {
+	return int64(rand.IntN(7)) // want `leafCount is on a deterministic count path but uses rand.IntN`
 }
 
 // Unannotated functions are unconstrained.

@@ -374,3 +374,43 @@ func TestClusterDefaultsNormalize(t *testing.T) {
 		t.Error("empty String")
 	}
 }
+
+// TestClusterMatchesCompiledTiers pins the cluster data plane (interpreted
+// Counters on every rank) against the local compiled and generated
+// execution tiers: the same configuration must produce bit-identical counts
+// whichever side of the backend split runs it.
+func TestClusterMatchesCompiledTiers(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 5, 31)
+	cases := []struct {
+		pat    *pattern.Pattern
+		useIEP bool
+	}{
+		{pat: pattern.House(), useIEP: false},
+		{pat: pattern.House(), useIEP: true},
+		{pat: pattern.Pentagon(), useIEP: true},
+		{pat: pattern.Clique(4), useIEP: false}, // generated-tier pattern
+		{pat: pattern.Clique(5), useIEP: false},
+	}
+	for _, tc := range cases {
+		cfg := planFor(t, g, tc.pat)
+		for _, tier := range []core.Tier{core.TierCompiled, core.TierAuto} {
+			var local int64
+			if tc.useIEP {
+				local = cfg.CountIEP(g, core.RunOptions{Workers: 2, Tier: tier})
+			} else {
+				local = cfg.Count(g, core.RunOptions{Workers: 2, Tier: tier})
+			}
+			res, err := Run(cfg, g, Options{
+				Nodes: 3, WorkersPerNode: 2, UseIEP: tc.useIEP,
+				Transport: NewChanTransport(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != local {
+				t.Errorf("%s iep=%v: cluster %d, local tier %s %d",
+					tc.pat, tc.useIEP, res.Count, tier, local)
+			}
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package codegen
+package codegen_test
 
 import (
 	"os"
@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"graphpi/internal/codegen"
 	"graphpi/internal/core"
 	"graphpi/internal/graph"
 	"graphpi/internal/pattern"
@@ -31,7 +33,7 @@ func configFor(t *testing.T, p *pattern.Pattern) *core.Config {
 
 func TestGenerateSourceShape(t *testing.T) {
 	cfg := configFor(t, pattern.House())
-	src, err := GenerateSource(cfg)
+	src, err := codegen.GenerateSource(cfg.SourceSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,15 +42,58 @@ func TestGenerateSourceShape(t *testing.T) {
 		"func countEmbeddings(g *csr) int64",
 		"func intersect(", // hoisted intersections present
 		"break // id(",    // restriction turned into a sorted-scan break
-		"count++",
 	} {
 		if !strings.Contains(src, want) {
 			t.Errorf("generated source missing %q", want)
 		}
 	}
-	// One loop per pattern vertex.
-	if got := strings.Count(src, "for "); got < cfg.N() {
-		t.Errorf("generated %d loops, want ≥ %d", got, cfg.N())
+	if !strings.Contains(src, "count++") && !strings.Contains(src, "count += int64(len(") {
+		t.Error("generated source has no counting leaf")
+	}
+}
+
+func TestLowerShape(t *testing.T) {
+	cfg := configFor(t, pattern.House())
+	prog, err := codegen.Lower(cfg.SourceSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.N != cfg.N() || len(prog.Levels) != cfg.N() {
+		t.Fatalf("lowered %d levels, want %d", len(prog.Levels), cfg.N())
+	}
+	if prog.IEPCut != -1 {
+		t.Errorf("source spec lowered with IEP cut %d, want -1", prog.IEPCut)
+	}
+	if !prog.Levels[cfg.N()-1].IsLeaf {
+		t.Error("last level not marked leaf")
+	}
+	for d, lv := range prog.Levels {
+		if lv.Depth != d {
+			t.Errorf("level %d records depth %d", d, lv.Depth)
+		}
+	}
+}
+
+// TestCompileMatchesEngine runs the closure backend directly against the
+// interpreted engine on the plain-enumeration spec — the codegen-level
+// equivalence check (the full tier matrix lives in internal/core).
+func TestCompileMatchesEngine(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 4, 11)
+	for _, p := range []*pattern.Pattern{pattern.Triangle(), pattern.House(), pattern.Rectangle()} {
+		cfg := configFor(t, p)
+		want := cfg.Count(g, core.RunOptions{Workers: 1, Tier: core.TierInterpret})
+
+		prog, err := codegen.Lower(cfg.SourceSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		kern := codegen.Compile(prog, g)
+		var stop atomic.Bool
+		st := kern.NewState(&stop)
+		st.RunRoot(0, g.NumVertices())
+		if got := st.Count(); got != want {
+			t.Errorf("%s: compiled closures counted %d, engine %d", p, got, want)
+		}
 	}
 }
 
@@ -82,7 +127,7 @@ func TestGeneratedProgramMatchesEngine(t *testing.T) {
 		cfg := configFor(t, p)
 		want := cfg.Count(g, core.RunOptions{Workers: 1})
 
-		src, err := GenerateSource(cfg)
+		src, err := codegen.GenerateSource(cfg.SourceSpec())
 		if err != nil {
 			t.Fatal(err)
 		}

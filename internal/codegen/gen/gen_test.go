@@ -1,0 +1,149 @@
+package gen
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+
+	"graphpi/internal/graph"
+)
+
+// TestGeneratedSourcesMatchEmitter is the drift check: the checked-in
+// kernels must be exactly what the emitter produces.
+func TestGeneratedSourcesMatchEmitter(t *testing.T) {
+	for q := MinPattern; q <= MaxPattern; q++ {
+		name, want := EmitSource(q)
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("k%d: %v", q, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s drifted from the emitter; run `go generate ./internal/codegen/gen`", name)
+		}
+	}
+}
+
+func binom(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	r := int64(1)
+	for i := 1; i <= k; i++ {
+		r = r * int64(n-k+i) / int64(i)
+	}
+	return r
+}
+
+// plantedGraph builds a disjoint union of complete graphs, so every clique
+// count has the closed form Σ C(size, q).
+func plantedGraph(t *testing.T, sizes ...int) *graph.Graph {
+	t.Helper()
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	b := graph.NewBuilder(total, 0)
+	base := 0
+	for _, s := range sizes {
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				b.AddEdge(uint32(base+i), uint32(base+j))
+			}
+		}
+		base += s
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCliqueKernelsPlantedCounts(t *testing.T) {
+	sizes := []int{14, 9, 5, 3}
+	g := plantedGraph(t, sizes...)
+	var stop atomic.Bool
+	for q := MinPattern; q <= MaxPattern; q++ {
+		var want int64
+		for _, s := range sizes {
+			want += binom(s, q)
+		}
+		fn, ok := CliqueRange(q)
+		if !ok {
+			t.Fatalf("no K%d kernel", q)
+		}
+		if got := fn(g, 0, g.NumVertices(), &stop); got != want {
+			t.Errorf("K%d: vertex kernel counted %d, want %d", q, got, want)
+		}
+		efn, ok := CliqueEdgeRange(q)
+		if !ok {
+			t.Fatalf("no K%d edge kernel", q)
+		}
+		if got := efn(g, 0, g.NumAdjSlots(), &stop); got != want {
+			t.Errorf("K%d: edge kernel counted %d, want %d", q, got, want)
+		}
+	}
+}
+
+// TestCliqueKernelsRangeSplit sums kernels over split ranges — including a
+// cut through the middle of a hub's adjacency for the edge variant — and
+// over bitmap-accelerated graphs.
+func TestCliqueKernelsRangeSplit(t *testing.T) {
+	g := graph.BarabasiAlbert(500, 6, 99)
+	gBM := graph.BarabasiAlbert(500, 6, 99)
+	gBM.BuildHubBitmaps(1<<24, 8)
+	var stop atomic.Bool
+	for q := MinPattern; q <= 6; q++ {
+		fn, _ := CliqueRange(q)
+		efn, _ := CliqueEdgeRange(q)
+		whole := fn(g, 0, g.NumVertices(), &stop)
+
+		var split int64
+		cuts := []int{0, 17, 123, g.NumVertices()}
+		for i := 0; i+1 < len(cuts); i++ {
+			split += fn(g, cuts[i], cuts[i+1], &stop)
+		}
+		if split != whole {
+			t.Errorf("K%d: split vertex ranges sum to %d, whole %d", q, split, whole)
+		}
+
+		m := g.NumAdjSlots()
+		ecuts := []int{0, 1, m / 3, m/3 + 1, m}
+		var esplit int64
+		for i := 0; i+1 < len(ecuts); i++ {
+			esplit += efn(g, ecuts[i], ecuts[i+1], &stop)
+		}
+		if esplit != whole {
+			t.Errorf("K%d: split edge ranges sum to %d, whole %d", q, esplit, whole)
+		}
+
+		if got := fn(gBM, 0, gBM.NumVertices(), &stop); got != whole {
+			t.Errorf("K%d: bitmap-accelerated kernel counted %d, want %d", q, got, whole)
+		}
+	}
+}
+
+func TestCliqueKernelsStop(t *testing.T) {
+	g := plantedGraph(t, 12, 12)
+	var stop atomic.Bool
+	stop.Store(true)
+	fn, _ := CliqueRange(4)
+	if got := fn(g, 0, g.NumVertices(), &stop); got != 0 {
+		t.Errorf("stopped kernel counted %d, want 0", got)
+	}
+	efn, _ := CliqueEdgeRange(4)
+	if got := efn(g, 0, g.NumAdjSlots(), &stop); got != 0 {
+		t.Errorf("stopped edge kernel counted %d, want 0", got)
+	}
+}
+
+func TestCliqueRegistryBounds(t *testing.T) {
+	for _, q := range []int{0, 1, 2, MaxPattern + 1} {
+		if _, ok := CliqueRange(q); ok {
+			t.Errorf("CliqueRange(%d) unexpectedly present", q)
+		}
+		if _, ok := CliqueEdgeRange(q); ok {
+			t.Errorf("CliqueEdgeRange(%d) unexpectedly present", q)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Package gen holds the go:generate'd static counting kernels for the
+// clique suite K3..K12 — the engine's third execution tier (see
+// internal/core.Tier). Each kernel counts cliques under the fixed descending
+// total order v0 > v1 > ... > v_{q-1}; internal/core substitutes a kernel
+// only when the planned configuration is a complete pattern whose
+// restriction windows form a total order, under which every clique passes
+// exactly one vertex ordering — so the fixed order tallies the same count.
+//
+// The kernel sources k3.go..k12.go are checked in and regenerated with
+// `go generate ./internal/codegen/gen` (see regen). CI verifies the
+// checked-in sources match the emitter.
+package gen
+
+//go:generate go run ./regen
+
+import (
+	"sync/atomic"
+
+	"graphpi/internal/graph"
+	"graphpi/internal/vertexset"
+)
+
+// MinPattern and MaxPattern bound the clique sizes the suite covers.
+const (
+	MinPattern = 3
+	MaxPattern = 12
+)
+
+// RangeKernel counts pattern instances rooted in a task range: a vertex
+// range for the plain kernels, a CSR adjacency-slot range for the edge
+// variants. The stop flag is probed at outer-loop boundaries, matching the
+// interpreter's cancellation granularity.
+type RangeKernel func(g *graph.Graph, start, end int, stop *atomic.Bool) int64
+
+// CliqueRange returns the vertex-parallel kernel counting K_q, if the suite
+// has one.
+func CliqueRange(q int) (RangeKernel, bool) {
+	switch q {
+	case 3:
+		return countK3, true
+	case 4:
+		return countK4, true
+	case 5:
+		return countK5, true
+	case 6:
+		return countK6, true
+	case 7:
+		return countK7, true
+	case 8:
+		return countK8, true
+	case 9:
+		return countK9, true
+	case 10:
+		return countK10, true
+	case 11:
+		return countK11, true
+	case 12:
+		return countK12, true
+	}
+	return nil, false
+}
+
+// CliqueEdgeRange returns the edge-parallel kernel counting K_q over an
+// adjacency-slot range, if the suite has one.
+func CliqueEdgeRange(q int) (RangeKernel, bool) {
+	switch q {
+	case 3:
+		return countK3Edges, true
+	case 4:
+		return countK4Edges, true
+	case 5:
+		return countK5Edges, true
+	case 6:
+		return countK6Edges, true
+	case 7:
+		return countK7Edges, true
+	case 8:
+		return countK8Edges, true
+	case 9:
+		return countK9Edges, true
+	case 10:
+		return countK10Edges, true
+	case 11:
+		return countK11Edges, true
+	case 12:
+		return countK12Edges, true
+	}
+	return nil, false
+}
+
+// cliqueStep narrows one clique level: dst = {u ∈ left : u ∈ N(v), u < v}.
+// Because left already holds vertices below every earlier bound vertex of
+// the descending chain, the result is exactly the next level's candidate
+// set. Hub vertices are probed through their bitmap in O(|left|).
+func cliqueStep(dst, left []uint32, g *graph.Graph, v uint32) []uint32 {
+	left = vertexset.Below(left, v)
+	right := g.Neighbors(v)
+	if bm := g.HubBitmap(v); bm != nil && len(left) <= len(right) {
+		return vertexset.IntersectBitmap(dst[:0], left, bm)
+	}
+	return vertexset.Intersect(dst, left, vertexset.Below(right, v))
+}

@@ -1,0 +1,21 @@
+// Command regen rewrites the checked-in clique kernel sources k3.go..k12.go
+// from the emitter. Run via `go generate ./internal/codegen/gen`; CI fails
+// if regeneration changes the tree.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"graphpi/internal/codegen/gen"
+)
+
+func main() {
+	for q := gen.MinPattern; q <= gen.MaxPattern; q++ {
+		name, src := gen.EmitSource(q)
+		if err := os.WriteFile(name, []byte(src), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "regen:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -13,7 +13,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"graphpi/internal/costmodel"
 	"graphpi/internal/iep"
 	"graphpi/internal/pattern"
 	"graphpi/internal/perm"
@@ -59,6 +61,19 @@ type Config struct {
 	// counted iepDen times instead of iepNum times (paper §IV-D's x is
 	// iepDen with iepNum = 1 for complete restriction sets).
 	iepNum, iepDen int64
+	// planParams, when set by the planner, carries the data-graph
+	// statistics the configuration was costed against; the compiled tier
+	// freezes its intersection kernels from them (costmodel.FreezeKernels).
+	// Manually built configurations leave it nil → adaptive kernels.
+	planParams *costmodel.Params
+	// cliqueQ is nonzero when the generated clique suite may substitute
+	// for this configuration (see detectCliqueKernel).
+	cliqueQ int
+
+	compileMu sync.Mutex
+	// compiled memoizes compiled tiers per (graph, IEP, tier); guarded by
+	// compileMu.
+	compiled map[compiledKey]*Compiled
 }
 
 // NewConfig compiles a configuration. The schedule must be a permutation of
@@ -95,25 +110,15 @@ func NewConfig(pat *pattern.Pattern, sched schedule.Schedule, rs restrict.Set) (
 	c.relabeled = schedule.RelabeledPattern(pat, sched)
 	c.plan = schedule.BuildPlan(c.relabeled, n)
 
-	// Map restrictions to schedule positions and attach each to the later
-	// position's loop.
+	// Bake the restrictions into per-depth candidate windows (restrict
+	// package): each attaches to its later schedule position's loop.
 	pos := make([]uint8, n)
 	for depth, v := range sched.Order {
 		pos[v] = uint8(depth)
 	}
-	c.lowers = make([][]uint8, n)
-	c.uppers = make([][]uint8, n)
-	for _, r := range rs {
-		pf, ps := pos[r.First], pos[r.Second]
-		if pf > ps {
-			// id(v_pf) > id(v_ps), checked when binding pf (the later).
-			c.lowers[pf] = append(c.lowers[pf], ps)
-		} else {
-			// id(v_pf) > id(v_ps) with ps later: bound[pf] is an upper
-			// limit for the candidates of ps.
-			c.uppers[ps] = append(c.uppers[ps], pf)
-		}
-	}
+	windows := restrict.BakeWindows(rs, pos)
+	c.lowers = windows.Lowers
+	c.uppers = windows.Uppers
 
 	c.dupCheck = make([][]uint8, n)
 	for d := 1; d < n; d++ {
@@ -148,6 +153,7 @@ func NewConfig(pat *pattern.Pattern, sched schedule.Schedule, rs restrict.Set) (
 		c.kIEP = iep.MaxK
 	}
 	c.computeIEPScaling()
+	c.detectCliqueKernel(windows)
 	return c, nil
 }
 

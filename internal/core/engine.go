@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"graphpi/internal/codegen"
 	"graphpi/internal/graph"
 	"graphpi/internal/iep"
 	"graphpi/internal/schedule"
@@ -55,6 +56,11 @@ type RunOptions struct {
 	// cancelled run reports complete=false from the *Timed variants; use
 	// the *Ctx methods to get the context error directly.
 	Context context.Context
+	// Tier selects the execution tier for counting runs (see Tier).
+	// TierAuto picks generated > runtime-compiled; enumeration and runs a
+	// compiled tier cannot host fall back to the interpreter. Counts are
+	// bit-identical across tiers, so the choice is purely about speed.
+	Tier Tier
 }
 
 func (o RunOptions) chunk(n, workers int) int {
@@ -197,7 +203,13 @@ func (c *Config) execute(g *graph.Graph, opt RunOptions, useIEP bool, visit func
 		return 0, true
 	}
 	workers := taskpool.Workers(opt.Workers)
-	runners := make([]*runner, workers)
+	// Tier resolution: counting runs prefer a compiled tier; enumeration
+	// and compile failures (an explicit TierGenerated without a static
+	// kernel, a spec the lowering rejects) fall back to the interpreter.
+	var comp *Compiled
+	if visit == nil && opt.Tier != TierInterpret {
+		comp, _ = c.CompileTier(g, useIEP, opt.Tier)
+	}
 	var stop, aborted atomic.Bool
 	if opt.Budget > 0 {
 		timer := time.AfterFunc(opt.Budget, func() {
@@ -221,9 +233,18 @@ func (c *Config) execute(g *graph.Graph, opt RunOptions, useIEP bool, visit func
 			}
 		}()
 	}
-	edgePar := c.EdgeParallelEligible(useIEP) &&
+	eligible := c.EdgeParallelEligible(useIEP)
+	if comp != nil {
+		eligible = comp.edgeOK
+	}
+	edgePar := eligible &&
 		opt.EdgeParallel != EdgeParallelOff &&
 		(opt.EdgeParallel == EdgeParallelOn || workers > 1)
+	if comp != nil {
+		total := c.runCompiled(comp, g, opt, workers, nv, edgePar, &stop)
+		return total, !aborted.Load()
+	}
+	runners := make([]*runner, workers)
 	body := func(run func(r *runner, rg taskpool.Range)) func(int, taskpool.Range) {
 		return func(w int, rg taskpool.Range) {
 			if stop.Load() {
@@ -255,6 +276,69 @@ func (c *Config) execute(g *graph.Graph, opt RunOptions, useIEP bool, visit func
 		total = total * c.iepNum / c.iepDen
 	}
 	return total, !aborted.Load()
+}
+
+// runCompiled executes a compiled tier under the same scheduling and
+// cancellation machinery as the interpreter: per-worker state, the shared
+// stop flag probed at outer-loop boundaries, vertex- or edge-parallel root
+// tasks. The raw tally is scaled by the compilation's own correction —
+// generated kernels count finals directly, IEP-compiled closures carry the
+// configuration's over-count factors.
+//
+//graphpi:deterministic
+func (c *Config) runCompiled(comp *Compiled, g *graph.Graph, opt RunOptions, workers, nv int, edgePar bool, stop *atomic.Bool) int64 {
+	var total int64
+	if comp.tier == TierGenerated {
+		counts := make([]int64, workers)
+		body := func(w int, rg taskpool.Range) {
+			if stop.Load() {
+				return
+			}
+			if edgePar {
+				counts[w] += comp.genEdge(g, rg.Start, rg.End, stop)
+			} else {
+				counts[w] += comp.genRange(g, rg.Start, rg.End, stop)
+			}
+		}
+		if edgePar {
+			m := g.NumAdjSlots()
+			taskpool.Run(workers, m, opt.edgeChunk(m, nv, workers), body)
+		} else {
+			taskpool.Run(workers, nv, opt.chunk(nv, workers), body)
+		}
+		for _, n := range counts {
+			total += n
+		}
+	} else {
+		states := make([]*codegen.State, workers)
+		body := func(w int, rg taskpool.Range) {
+			if stop.Load() {
+				return
+			}
+			s := states[w]
+			if s == nil {
+				s = comp.kern.NewState(stop)
+				states[w] = s
+			}
+			if edgePar {
+				s.RunRootEdges(rg.Start, rg.End)
+			} else {
+				s.RunRoot(rg.Start, rg.End)
+			}
+		}
+		if edgePar {
+			m := g.NumAdjSlots()
+			taskpool.Run(workers, m, opt.edgeChunk(m, nv, workers), body)
+		} else {
+			taskpool.Run(workers, nv, opt.chunk(nv, workers), body)
+		}
+		for _, s := range states {
+			if s != nil {
+				total += s.Count()
+			}
+		}
+	}
+	return total * comp.scaleNum / comp.scaleDen
 }
 
 // effectiveIEPK returns the IEP suffix actually usable at run time (0 when

@@ -1,0 +1,49 @@
+package costmodel
+
+import (
+	"graphpi/internal/codegen"
+	"graphpi/internal/schedule"
+	"graphpi/internal/vertexset"
+)
+
+// FreezeKernels chooses an intersection kernel for every hoisted step of the
+// plan from the model's expected input cardinalities, so the compiled tier
+// skips the interpreter's per-execution size dispatch. The policy mirrors
+// the adaptive runtime crossovers:
+//
+//   - hub bitmaps present → KernelBitmap (O(|small|) probes dominate on the
+//     skewed graphs that have hubs; non-hub vertices fall back at run time),
+//   - expected |N(v)| ≥ GallopRatio × expected |chain| → KernelGallop,
+//   - otherwise → KernelMerge.
+//
+// The step Out = chain ∩ N(v) has expected input sizes SetSize(PrefixLen-1)
+// for the accumulated chain and SetSize(1) for the fresh neighborhood.
+func FreezeKernels(plan schedule.Plan, n int, p Params, hasHubs bool) [][]codegen.KernelChoice {
+	out := make([][]codegen.KernelChoice, n)
+	for d := 0; d < n && d < len(plan.Steps); d++ {
+		if len(plan.Steps[d]) == 0 {
+			continue
+		}
+		row := make([]codegen.KernelChoice, len(plan.Steps[d]))
+		for i, st := range plan.Steps[d] {
+			row[i] = freezeStep(st, p, hasHubs)
+		}
+		out[d] = row
+	}
+	return out
+}
+
+func freezeStep(st schedule.Step, p Params, hasHubs bool) codegen.KernelChoice {
+	if hasHubs {
+		return codegen.KernelBitmap
+	}
+	small := p.SetSize(st.PrefixLen - 1)
+	big := p.SetSize(1)
+	if small > big {
+		small, big = big, small
+	}
+	if small > 0 && big >= float64(vertexset.GallopRatio)*small {
+		return codegen.KernelGallop
+	}
+	return codegen.KernelMerge
+}

@@ -1,0 +1,85 @@
+package costmodel
+
+import (
+	"testing"
+
+	"graphpi/internal/codegen"
+	"graphpi/internal/pattern"
+	"graphpi/internal/schedule"
+)
+
+func planFor(p *pattern.Pattern) (schedule.Plan, int) {
+	n := p.N()
+	order := make([]uint8, n)
+	for i := range order {
+		order[i] = uint8(i)
+	}
+	s := schedule.Schedule{Order: order}
+	return schedule.BuildPlan(schedule.RelabeledPattern(p, s), n), n
+}
+
+func TestFreezeKernelsShapeMatchesPlan(t *testing.T) {
+	plan, n := planFor(pattern.House())
+	p := Params{Vertices: 1000, Edges: 5000, Triangles: 2000}
+	ks := FreezeKernels(plan, n, p, false)
+	if len(ks) != n {
+		t.Fatalf("got %d rows, want %d", len(ks), n)
+	}
+	for d := 0; d < n; d++ {
+		if len(plan.Steps[d]) == 0 {
+			if ks[d] != nil {
+				t.Errorf("depth %d: kernels for a step-free level", d)
+			}
+			continue
+		}
+		if len(ks[d]) != len(plan.Steps[d]) {
+			t.Errorf("depth %d: %d kernels for %d steps", d, len(ks[d]), len(plan.Steps[d]))
+		}
+		for i, k := range ks[d] {
+			if k == codegen.KernelAdaptive {
+				t.Errorf("depth %d step %d: frozen to adaptive", d, i)
+			}
+		}
+	}
+}
+
+func TestFreezeKernelsPolicy(t *testing.T) {
+	plan, n := planFor(pattern.Clique(4))
+	// Hubs take priority: every step freezes to the bitmap probe.
+	p := Params{Vertices: 1000, Edges: 5000, Triangles: 2000}
+	for _, row := range FreezeKernels(plan, n, p, true) {
+		for _, k := range row {
+			if k != codegen.KernelBitmap {
+				t.Fatalf("hasHubs: frozen to %s, want bitmap", k)
+			}
+		}
+	}
+	// Dense expectations (p2 close to p1): chains stay comparable to a
+	// neighborhood, so the merge wins.
+	dense := Params{Vertices: 100, Edges: 2000, Triangles: 30000}
+	sawMerge := false
+	for _, row := range FreezeKernels(plan, n, dense, false) {
+		for _, k := range row {
+			if k == codegen.KernelMerge {
+				sawMerge = true
+			}
+		}
+	}
+	if !sawMerge {
+		t.Error("dense graph froze no merge kernels")
+	}
+	// Sparse triangle-poor expectations: the chain collapses far below the
+	// fresh neighborhood, so galloping the big side wins.
+	sparse := Params{Vertices: 1_000_000, Edges: 10_000_000, Triangles: 100}
+	sawGallop := false
+	for _, row := range FreezeKernels(plan, n, sparse, false) {
+		for _, k := range row {
+			if k == codegen.KernelGallop {
+				sawGallop = true
+			}
+		}
+	}
+	if !sawGallop {
+		t.Error("sparse graph froze no gallop kernels")
+	}
+}

@@ -1,0 +1,77 @@
+package restrict
+
+import "testing"
+
+func TestBakeWindowsAttachesToLaterPosition(t *testing.T) {
+	// Pattern vertices 0..2 scheduled in reverse: pos = [2, 1, 0].
+	pos := []uint8{2, 1, 0}
+	// id(v0) > id(v1): v0 sits at position 2, v1 at position 1 → the later
+	// position 2 gets a lower bound from position 1.
+	s := Set{{First: 0, Second: 1}}
+	w := BakeWindows(s, pos)
+	if len(w.Lowers[2]) != 1 || w.Lowers[2][0] != 1 {
+		t.Errorf("Lowers[2] = %v, want [1]", w.Lowers[2])
+	}
+	// id(v2) > id(v1): v2 sits at position 0, v1 at position 1 → the later
+	// position 1 gets an upper bound from position 0.
+	s = Set{{First: 2, Second: 1}}
+	w = BakeWindows(s, pos)
+	if len(w.Uppers[1]) != 1 || w.Uppers[1][0] != 0 {
+		t.Errorf("Uppers[1] = %v, want [0]", w.Uppers[1])
+	}
+}
+
+func TestWindowsTotalOrder(t *testing.T) {
+	identity := func(n int) []uint8 {
+		p := make([]uint8, n)
+		for i := range p {
+			p[i] = uint8(i)
+		}
+		return p
+	}
+	chain := func(n int) Set {
+		var s Set
+		for i := 1; i < n; i++ {
+			s = append(s, Restriction{First: uint8(i), Second: uint8(i - 1)})
+		}
+		return s
+	}
+	cases := []struct {
+		name string
+		n    int
+		s    Set
+		want bool
+	}{
+		{"empty-1", 1, nil, true}, // a single position is trivially ordered
+		{"empty-3", 3, nil, false},
+		{"chain-3", 3, chain(3), true},
+		{"chain-12", 12, chain(12), true},
+		// Direct pairwise total order, not just a chain.
+		{"pairs-3", 3, Set{{First: 1, Second: 0}, {First: 2, Second: 0}, {First: 2, Second: 1}}, true},
+		// One missing comparison.
+		{"partial-3", 3, Set{{First: 1, Second: 0}}, false},
+		// Star order: 2 above both, but 0 and 1 incomparable.
+		{"star-3", 3, Set{{First: 2, Second: 0}, {First: 2, Second: 1}}, false},
+	}
+	for _, tc := range cases {
+		w := BakeWindows(tc.s, identity(tc.n))
+		if got := w.TotalOrder(); got != tc.want {
+			t.Errorf("%s: TotalOrder() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestWindowsTotalOrderLargePatternsRejected(t *testing.T) {
+	n := 40 // beyond the 32-position bitmask
+	pos := make([]uint8, n)
+	var s Set
+	for i := range pos {
+		pos[i] = uint8(i)
+		if i > 0 {
+			s = append(s, Restriction{First: uint8(i), Second: uint8(i - 1)})
+		}
+	}
+	if BakeWindows(s, pos).TotalOrder() {
+		t.Error("TotalOrder() accepted a pattern beyond the bitmask width")
+	}
+}

@@ -21,8 +21,10 @@ import (
 type backend interface {
 	// name tags job records and metrics.
 	name() string
-	// count runs the configuration to completion or ctx cancellation.
-	count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int) (int64, error)
+	// count runs the configuration to completion or ctx cancellation. tier
+	// selects the local execution tier; the cluster backend ignores it (the
+	// wire protocol runs the interpreter on every worker).
+	count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int, tier core.Tier) (int64, error)
 }
 
 // localBackend runs on the in-process engine with the job's worker budget.
@@ -30,8 +32,8 @@ type localBackend struct{}
 
 func (localBackend) name() string { return "local" }
 
-func (localBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int) (int64, error) {
-	opt := core.RunOptions{Workers: workers}
+func (localBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int, tier core.Tier) (int64, error) {
+	opt := core.RunOptions{Workers: workers, Tier: tier}
 	if useIEP {
 		return cfg.CountIEPCtx(ctx, g, opt)
 	}
@@ -143,7 +145,7 @@ func (b *clusterBackend) poolStats() (st cluster.PoolStats, known bool) {
 	return st, true
 }
 
-func (b *clusterBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int) (int64, error) {
+func (b *clusterBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int, _ core.Tier) (int64, error) {
 	b.jobMu.Lock()
 	defer b.jobMu.Unlock()
 	var lastErr error

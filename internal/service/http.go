@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"graphpi/internal/cluster"
+	"graphpi/internal/core"
 	"graphpi/internal/graph"
 )
 
@@ -29,7 +30,8 @@ import (
 // Query parameters for /count and /enumerate: graph (resident graph name;
 // optional when exactly one graph is resident), pattern (a named pattern or
 // "n:adjacency"), iep (default true for /count), backend (auto|local|
-// cluster), workers (per-job budget cap), planner (graphpi|graphzero), and
+// cluster), workers (per-job budget cap), planner (graphpi|graphzero),
+// tier (count: auto|interpret|compiled|generated; local backend only), and
 // limit (enumerate: stop after N embeddings).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -132,6 +134,13 @@ func parseQuery(r *http.Request, countDefaultIEP bool) (queryRequest, error) {
 			return req, &statusError{400, fmt.Sprintf("bad limit value %q", v)}
 		}
 		req.limit = n
+	}
+	if v := q.Get("tier"); v != "" {
+		t, err := core.ParseTier(v)
+		if err != nil {
+			return req, &statusError{400, err.Error()}
+		}
+		req.tier = t
 	}
 	return req, nil
 }

@@ -236,10 +236,11 @@ type queryRequest struct {
 	graphName   string
 	patternSpec string
 	useIEP      bool
-	backendName string // "", "auto", "local", "cluster"
-	workers     int    // requested budget; 0 → the per-job default
-	planner     string // "" | "graphzero"
-	limit       int64  // enumerate: stop after this many embeddings (0 = all)
+	backendName string    // "", "auto", "local", "cluster"
+	workers     int       // requested budget; 0 → the per-job default
+	planner     string    // "" | "graphzero"
+	limit       int64     // enumerate: stop after this many embeddings (0 = all)
+	tier        core.Tier // requested execution tier (local backend only)
 }
 
 // queryResult is the outcome of a count job (and the trailer of an
@@ -256,6 +257,7 @@ type queryResult struct {
 	PlanSec   float64 `json:"plan_seconds"`
 	ExecSec   float64 `json:"exec_seconds"`
 	Schedule  string  `json:"schedule,omitempty"`
+	Tier      string  `json:"tier,omitempty"`      // execution tier the count ran on
 	Truncated bool    `json:"truncated,omitempty"` // enumerate hit its limit
 }
 
@@ -363,7 +365,7 @@ func (s *Server) runCount(ctx context.Context, req queryRequest) (*queryResult, 
 
 	j.setRunning(be.name(), workers, hit)
 	t0 := time.Now()
-	count, err := be.count(ctx, cfg, rg.g, req.useIEP, workers)
+	count, err := be.count(ctx, cfg, rg.g, req.useIEP, workers, req.tier)
 	execSec := time.Since(t0).Seconds()
 	if err != nil {
 		s.countFinish(j, count, err)
@@ -383,6 +385,17 @@ func (s *Server) runCount(ctx context.Context, req queryRequest) (*queryResult, 
 		ExecSec: execSec,
 	}
 	res.Schedule = cfg.Schedule.String()
+	// Label the execution tier. The cluster wire protocol runs the
+	// interpreter on every worker; local jobs resolve through the same
+	// memo the engine consulted, so the label names the kernel that
+	// actually ran. Because the configuration (and its compiled-plan memo)
+	// lives in the plan cache, a hot /count hit re-enters the compiled
+	// kernel without re-lowering anything.
+	if be == backend(s.local) {
+		res.Tier = cfg.ResolveTier(rg.g, req.tier, req.useIEP).String()
+	} else {
+		res.Tier = core.TierInterpret.String()
+	}
 	return res, nil
 }
 

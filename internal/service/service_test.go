@@ -318,6 +318,93 @@ func TestServiceCacheStampede(t *testing.T) {
 	}
 }
 
+// TestServiceTierSelection: the tier query parameter picks the local
+// execution tier, the result labels the kernel that actually ran (including
+// the silent interpreter fallback when a requested static kernel does not
+// exist for the pattern), counts stay bit-identical across tiers, and the
+// compiled-plan memo rides the plan cache so a hot /count hit re-enters the
+// compiled kernel without recompiling.
+func TestServiceTierSelection(t *testing.T) {
+	g := baFixture(300, 4, 7)
+	s := newTestServer(t, g, Options{})
+	base := startHTTP(t, s)
+
+	direct := func(name string) int64 {
+		p, err := pattern.Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Plan(p, g.Stats(), core.PlanOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Best.CountIEP(g, core.RunOptions{Tier: core.TierInterpret})
+	}
+	wantHouse, wantK4 := direct("house"), direct("k4")
+
+	cases := []struct {
+		url  string
+		tier string
+		want int64
+	}{
+		{"/count?graph=ba&pattern=house", "compiled", wantHouse}, // auto → runtime-compiled
+		{"/count?graph=ba&pattern=house&tier=interpret", "interpreted", wantHouse},
+		{"/count?graph=ba&pattern=house&tier=compiled", "compiled", wantHouse},
+		// No static kernel exists for the house: the engine falls back to the
+		// interpreter and the result says so.
+		{"/count?graph=ba&pattern=house&tier=generated", "interpreted", wantHouse},
+		{"/count?graph=ba&pattern=k4", "generated", wantK4}, // auto → static clique suite
+		{"/count?graph=ba&pattern=k4&tier=compiled", "compiled", wantK4},
+	}
+	for _, tc := range cases {
+		var qr queryResult
+		if code := getJSON(t, base+tc.url, &qr); code != 200 {
+			t.Fatalf("%s: status %d", tc.url, code)
+		}
+		if qr.Tier != tc.tier {
+			t.Errorf("%s: tier %q, want %q", tc.url, qr.Tier, tc.tier)
+		}
+		if qr.Count != tc.want {
+			t.Errorf("%s: count %d, want %d", tc.url, qr.Count, tc.want)
+		}
+	}
+
+	if code := getJSON(t, base+"/count?graph=ba&pattern=house&tier=quantum", nil); code != 400 {
+		t.Fatalf("unknown tier status %d, want 400", code)
+	}
+
+	// Hot hit: the repeat is a plan-cache hit and still runs compiled — the
+	// compiled-plan memo lives on the cached configuration, so the kernel
+	// built for the cold query is reused, not rebuilt.
+	var warm queryResult
+	if code := getJSON(t, base+"/count?graph=ba&pattern=house", &warm); code != 200 {
+		t.Fatalf("warm count status %d", code)
+	}
+	if warm.Cache != "hit" || warm.Tier != "compiled" || warm.Count != wantHouse {
+		t.Fatalf("warm query = %+v, want hit/compiled/%d", warm, wantHouse)
+	}
+	rg, err := s.resolveGraph("ba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat, _ := pattern.Parse("house")
+	cfg, _, hit, err := s.plan(rg, pat, "")
+	if err != nil || !hit {
+		t.Fatalf("cached config lookup: hit=%v err=%v", hit, err)
+	}
+	c1, err := cfg.CompileTier(g, true, core.TierAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cfg.CompileTier(g, true, core.TierAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("compiled-plan memo did not reuse the kernel on the cached config")
+	}
+}
+
 // TestServiceCancelReleasesWorkers: cancelling a running count job frees its
 // taskpool workers promptly — far faster than the job would have run — and
 // records the job as canceled.

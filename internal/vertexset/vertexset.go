@@ -18,12 +18,40 @@
 // of the engine never allocate.
 package vertexset
 
-// gallopRatio is the size ratio beyond which the galloping strategy beats the
+// GallopRatio is the size ratio beyond which the galloping strategy beats the
 // linear merge. The crossover is architecture dependent; BenchmarkIntersect-
 // Crossover (bitmap_bench_test.go) sweeps it — on amd64/uint32 merge wins at
 // ratio 8 (269µs vs 411µs for 64Ki∩8Ki) and gallop from ratio 16 on (223µs
-// vs 231µs), so 16 is the measured crossover.
-const gallopRatio = 16
+// vs 231µs), so 16 is the measured crossover. Exported so the cost model can
+// freeze the same choice at plan-compile time from *expected* set sizes.
+const GallopRatio = 16
+
+const gallopRatio = GallopRatio
+
+// IntersectMerge is Intersect with the linear-merge kernel forced,
+// regardless of the input size ratio. Compiled plans call it when the cost
+// model froze the merge choice at compile time.
+func IntersectMerge(dst, a, b []uint32) []uint32 {
+	dst = dst[:0]
+	if len(a) == 0 || len(b) == 0 {
+		return dst
+	}
+	return intersectMerge(dst, a, b)
+}
+
+// IntersectGallop is Intersect with the galloping kernel forced: the smaller
+// input probes the larger by exponential + binary search. Compiled plans
+// call it when the cost model froze the gallop choice at compile time.
+func IntersectGallop(dst, a, b []uint32) []uint32 {
+	dst = dst[:0]
+	if len(a) == 0 || len(b) == 0 {
+		return dst
+	}
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	return intersectGallop(dst, a, b)
+}
 
 // Intersect writes the intersection of the sorted sets a and b into dst
 // (which is truncated first) and returns the extended slice. dst must not
