@@ -40,6 +40,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"strconv"
@@ -79,6 +80,9 @@ func main() {
 		cacheBytes  = flag.Int64("plan-cache", 0, "with -server: plan cache budget in bytes (0 = 8 MiB)")
 		clusterRtry = flag.Int("cluster-retries", 0, "with -server: retries for a failed cluster job (0 = 2, negative = none)")
 		emitGo      = flag.String("emit-go", "", "write standalone Go source for the planned configuration to this path and exit")
+		tracePath   = flag.String("trace", "", "append NDJSON span events (plan/compile/run/cluster-deal) to this file")
+		pprofOn     = flag.Bool("pprof", false, "with -server: expose net/http/pprof under /debug/pprof/")
+		statsOn     = flag.Bool("stats", false, "one-shot runs: print per-level run stats and cost-model drift after the result")
 	)
 	flag.Parse()
 
@@ -97,6 +101,8 @@ func main() {
 		emitGo:      *emitGo,
 		tierName:    *tierName,
 		compiled:    *compiled,
+		pprofOn:     *pprofOn,
+		statsOn:     *statsOn,
 	}); err != nil {
 		failUsage(err)
 	}
@@ -114,6 +120,22 @@ func main() {
 	clusterAddrs, err := parseAddrList("-cluster-workers", *clusterWk)
 	if err != nil {
 		failUsage(err)
+	}
+
+	// -trace appends span events; the file stays open for the process's
+	// lifetime (server mode traces every query it serves).
+	var (
+		tracer *graphpi.Tracer
+		traceW io.Writer
+	)
+	if *tracePath != "" {
+		tf, err := os.OpenFile(*tracePath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer tf.Close()
+		traceW = tf
+		tracer = graphpi.NewTracer(tf)
 	}
 
 	var g *graphpi.Graph
@@ -145,6 +167,8 @@ func main() {
 			maxQueue:     *maxQueue,
 			cacheBytes:   *cacheBytes,
 			retries:      *clusterRtry,
+			pprof:        *pprofOn,
+			traceW:       traceW,
 		})
 		return
 	}
@@ -160,6 +184,14 @@ func main() {
 	fmt.Printf("pattern: %s\n", p)
 
 	opts := []graphpi.Option{graphpi.WithWorkers(*workers), graphpi.WithTier(tier)}
+	if tracer != nil {
+		opts = append(opts, graphpi.WithTracer(tracer))
+	}
+	var runStats *graphpi.RunStats
+	if *statsOn {
+		runStats = graphpi.NewRunStats(p.N())
+		opts = append(opts, graphpi.WithRunStats(runStats))
+	}
 	if *baseline {
 		opts = append(opts, graphpi.WithGraphZeroBaseline())
 	}
@@ -221,6 +253,41 @@ func main() {
 		count := plan.Count()
 		fmt.Printf("count: %d in %v\n", count, time.Since(start).Round(time.Millisecond))
 	}
+	if runStats != nil {
+		printRunStats(plan, *useIEP && !*list, runStats)
+	}
+}
+
+// printRunStats renders the run's per-level telemetry and the cost-model
+// drift reconciliation after a -stats run.
+func printRunStats(plan *graphpi.Plan, useIEP bool, st *graphpi.RunStats) {
+	fmt.Println("run stats (per schedule level):")
+	for d := range st.Levels {
+		l := &st.Levels[d]
+		fmt.Printf("  level %d: scans=%d cand=%d (max %d) isect=%d [merge %d, gallop %d, bitmap %d] prunes=%d dups=%d iep=%d wall~%v\n",
+			d, l.Scans, l.Candidates, l.CandMax, l.Intersections,
+			l.Kernels[0], l.Kernels[1], l.Kernels[2],
+			l.Prunes, l.DupSkips, l.IEPCounts,
+			time.Duration(l.WallNS).Round(time.Microsecond))
+	}
+	rep, ok := plan.Drift(useIEP, st)
+	if !ok {
+		fmt.Println("cost-model drift: unavailable (plan carries no model statistics)")
+		return
+	}
+	fmt.Printf("cost-model drift: overall actual/predicted intersections %.3f (predicted cost %.4g)\n",
+		rep.OverallRatio, rep.PredictedCost)
+	for _, ld := range rep.Levels {
+		switch {
+		case ld.CoveredByIEP:
+			fmt.Printf("  level %d: evaluated in closed form by IEP\n", ld.Level)
+		case ld.Valid:
+			fmt.Printf("  level %d: predicted %.4g, actual %d, ratio %.3f\n",
+				ld.Level, ld.PredictedIntersections, ld.ActualIntersections, ld.Ratio)
+		default:
+			fmt.Printf("  level %d: no comparable prediction\n", ld.Level)
+		}
+	}
 }
 
 // flagState carries the mode-relevant flags into validateFlags (testable
@@ -234,6 +301,7 @@ type flagState struct {
 	list                             bool
 	tierName                         string
 	compiled                         bool
+	pprofOn, statsOn                 bool
 }
 
 // validateFlags rejects unusable combinations up front, instead of
@@ -321,6 +389,18 @@ func validateFlags(f flagState) error {
 			return fmt.Errorf("-tier/-compiled do not apply to -serve (the cluster data plane interprets)")
 		}
 	}
+
+	if f.pprofOn && f.serverAddr == "" {
+		return fmt.Errorf("-pprof only applies to -server mode")
+	}
+	if f.statsOn {
+		switch {
+		case f.serverAddr != "":
+			return fmt.Errorf("-stats does not apply to -server (pass profile=1 per query instead)")
+		case f.serveAddr != "" || f.joinAddrs != "" || f.nodes > 0:
+			return fmt.Errorf("-stats only applies to one-shot runs (the cluster wire reduces counts, not counters)")
+		}
+	}
 	return nil
 }
 
@@ -357,6 +437,8 @@ type serverOptions struct {
 	maxQueue     int
 	cacheBytes   int64
 	retries      int
+	pprof        bool
+	traceW       io.Writer
 }
 
 // runServer turns this process into the resident query service: it holds
@@ -378,6 +460,8 @@ func runServer(addr string, g *graphpi.Graph, opt serverOptions) {
 		ClusterWorkers:        opt.clusterAddrs,
 		ClusterWorkersPerNode: opt.nodeWorkers,
 		ClusterJobRetries:     opt.retries,
+		EnablePprof:           opt.pprof,
+		TraceWriter:           opt.traceW,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

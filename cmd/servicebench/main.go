@@ -7,6 +7,14 @@
 // Run with:
 //
 //	go run ./cmd/servicebench -out BENCH_pr4.json
+//
+// With -profile it instead measures the telemetry tax: hot cached /count
+// latency with ?profile=1 per-level stats collection versus without,
+// interleaved on the same server. The run fails if the enabled-path median
+// exceeds the disabled median by 3% or more — the PR 9 low-overhead
+// guarantee — and writes BENCH_pr9.json:
+//
+//	go run ./cmd/servicebench -profile
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -55,15 +64,25 @@ type countResponse struct {
 	Cache   string  `json:"cache"`
 	PlanSec float64 `json:"plan_seconds"`
 	ExecSec float64 `json:"exec_seconds"`
+	Profile *struct {
+		Tier   string            `json:"tier"`
+		Levels []json.RawMessage `json:"levels"`
+		Drift  *struct {
+			OverallRatio float64 `json:"overallRatio"`
+		} `json:"drift"`
+	} `json:"profile"`
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_pr4.json", "output JSON path")
-		n       = flag.Int("n", 20000, "BA graph vertices")
-		m       = flag.Int("m", 5, "BA edges per vertex")
-		queries = flag.Int("qps-queries", 400, "queries for the QPS measurement")
-		clients = flag.Int("qps-clients", 8, "concurrent QPS clients")
+		out      = flag.String("out", "BENCH_pr4.json", "output JSON path")
+		n        = flag.Int("n", 20000, "BA graph vertices")
+		m        = flag.Int("m", 5, "BA edges per vertex")
+		queries  = flag.Int("qps-queries", 400, "queries for the QPS measurement")
+		clients  = flag.Int("qps-clients", 8, "concurrent QPS clients")
+		profile  = flag.Bool("profile", false, "measure ?profile=1 telemetry overhead instead (writes -profile-out)")
+		profOut  = flag.String("profile-out", "BENCH_pr9.json", "output JSON path for -profile")
+		profReps = flag.Int("profile-queries", 40, "hot queries per arm for -profile")
 	)
 	flag.Parse()
 
@@ -77,6 +96,11 @@ func main() {
 	}
 	defer srv.Close()
 	base := "http://" + srv.Addr()
+
+	if *profile {
+		runProfileBench(base, g, *profReps, *profOut)
+		return
+	}
 
 	rep := report{
 		Bench:      "pr4-query-service",
@@ -169,17 +193,109 @@ func main() {
 	fmt.Printf("cached-count QPS: %.0f (%d queries, %d clients, hit rate %.3f)\n",
 		rep.CountQPS, total, *clients, rep.CacheHitRate)
 
-	f, err := os.Create(*out)
+	writeJSON(*out, rep)
+}
+
+// profileReport is the BENCH_pr9.json shape: the telemetry tax on a hot
+// cached count, measured server-side (exec_seconds, excluding HTTP jitter).
+type profileReport struct {
+	Bench      string    `json:"bench"`
+	Graph      string    `json:"graph"`
+	Pattern    string    `json:"pattern"`
+	Tier       string    `json:"tier"`
+	Count      int64     `json:"count"`
+	Queries    int       `json:"queries_per_arm"`
+	GoMaxProc  int       `json:"gomaxprocs"`
+	When       time.Time `json:"when"`
+	DisabledMS float64   `json:"disabled_exec_median_ms"`
+	EnabledMS  float64   `json:"enabled_exec_median_ms"`
+	// Overhead is enabled/disabled - 1 on the medians; the run fails at 3%.
+	Overhead     float64 `json:"overhead_fraction"`
+	OverallRatio float64 `json:"drift_overall_ratio"`
+	Pass         bool    `json:"pass"`
+}
+
+// runProfileBench interleaves hot cached /count queries with and without
+// ?profile=1 and compares the median server-side exec times. Interleaving
+// (rather than two sequential blocks) cancels thermal and scheduler drift;
+// medians shrug off GC pauses.
+func runProfileBench(base string, g *graphpi.Graph, reps int, out string) {
+	const pat = "house"
+	plain := base + "/count?graph=ba&pattern=" + pat
+	profiled := plain + "&profile=1"
+	get := func(url string) countResponse {
+		resp, err := http.Get(url)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var cr countResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("count: status %d", resp.StatusCode)
+		}
+		return cr
+	}
+
+	// Warm the plan cache and check the two arms agree bit-identically and
+	// the profiled arm actually carries per-level stats and a drift report.
+	ref := get(plain)
+	prof := get(profiled)
+	if prof.Count != ref.Count {
+		log.Fatalf("profiled count diverges: %d vs %d", prof.Count, ref.Count)
+	}
+	if prof.Profile == nil || len(prof.Profile.Levels) == 0 || prof.Profile.Drift == nil {
+		log.Fatalf("?profile=1 returned no per-level stats or drift: %+v", prof.Profile)
+	}
+
+	var off, on []float64
+	for i := 0; i < reps; i++ {
+		off = append(off, get(plain).ExecSec)
+		on = append(on, get(profiled).ExecSec)
+	}
+	rep := profileReport{
+		Bench:        "pr9-telemetry-overhead",
+		Graph:        fmt.Sprintf("BA(n=%d) |V|=%d |E|=%d", g.NumVertices(), g.NumVertices(), g.NumEdges()),
+		Pattern:      pat,
+		Tier:         prof.Profile.Tier,
+		Count:        ref.Count,
+		Queries:      reps,
+		GoMaxProc:    runtime.GOMAXPROCS(0),
+		When:         time.Now().UTC(),
+		DisabledMS:   median(off) * 1000,
+		EnabledMS:    median(on) * 1000,
+		OverallRatio: prof.Profile.Drift.OverallRatio,
+	}
+	rep.Overhead = rep.EnabledMS/rep.DisabledMS - 1
+	rep.Pass = rep.Overhead < 0.03
+	fmt.Printf("telemetry overhead on hot cached /count (%s, tier %s): disabled %.2fms, enabled %.2fms, overhead %+.2f%% (drift ratio %.3f)\n",
+		pat, rep.Tier, rep.DisabledMS, rep.EnabledMS, rep.Overhead*100, rep.OverallRatio)
+	writeJSON(out, rep)
+	if !rep.Pass {
+		log.Fatalf("telemetry overhead %.2f%% exceeds the 3%% budget", rep.Overhead*100)
+	}
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+func writeJSON(path string, v any) {
+	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
+	if err := enc.Encode(v); err != nil {
 		log.Fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", path)
 }

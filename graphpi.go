@@ -45,6 +45,7 @@ import (
 	"graphpi/internal/labeled"
 	"graphpi/internal/pattern"
 	"graphpi/internal/service"
+	"graphpi/internal/telemetry"
 )
 
 // Graph is an immutable undirected data graph in CSR form.
@@ -273,6 +274,8 @@ type options struct {
 	baseline  bool
 	edgePar   core.EdgeParallelMode
 	tier      core.Tier
+	stats     *telemetry.RunStats
+	tracer    *telemetry.Tracer
 }
 
 // WithWorkers sets the number of worker goroutines (default: GOMAXPROCS).
@@ -320,6 +323,44 @@ const (
 // WithTier selects the counting execution tier (see Tier).
 func WithTier(t Tier) Option { return func(o *options) { o.tier = t } }
 
+// RunStats is the per-level execution telemetry a run collects: candidate
+// scans and set sizes, intersection counts by kernel family, restriction
+// prunes, duplicate skips, IEP evaluations, and sampled wall time — indexed
+// by schedule level. See Plan.NewRunStats and WithRunStats.
+type RunStats = telemetry.RunStats
+
+// LevelStats is one schedule level's counters within a RunStats.
+type LevelStats = telemetry.LevelStats
+
+// DriftReport reconciles a run's collected statistics against the planner's
+// cost-model predictions (the paper's Eq. 6/7 factors), level by level. See
+// Plan.Explain and Plan.Drift.
+type DriftReport = telemetry.DriftReport
+
+// Tracer writes NDJSON span events (plan, compile, run, cluster-deal) to a
+// writer; a nil *Tracer discards everything. See NewTracer and WithTracer.
+type Tracer = telemetry.Tracer
+
+// NewTracer wraps w in a span tracer. The caller owns closing w.
+func NewTracer(w io.Writer) *Tracer { return telemetry.NewTracer(w) }
+
+// NewRunStats allocates a telemetry sink for a pattern with n vertices (one
+// counter block per schedule level), for WithRunStats. Plan.NewRunStats is
+// the same thing sized from an existing plan.
+func NewRunStats(n int) *RunStats { return telemetry.NewRunStats(n) }
+
+// WithRunStats directs per-level execution telemetry into st for every run
+// of the plan. Collection is opt-in because it is per-run state: allocate
+// with Plan.NewRunStats (or telemetry.NewRunStats(pattern.N())) and reuse
+// across runs via st.Reset. Counts are bit-identical with or without stats;
+// the overhead is one nil check per candidate scan when disabled and plain
+// per-worker counters when enabled.
+func WithRunStats(st *RunStats) Option { return func(o *options) { o.stats = st } }
+
+// WithTracer emits coarse phase spans (plan, compile, run) for the plan's
+// lifecycle to t. A nil tracer is a no-op.
+func WithTracer(t *Tracer) Option { return func(o *options) { o.tracer = t } }
+
 // ParseTier parses a tier name as accepted by the CLI and the query service
 // ("auto", "interpret"/"interpreted", "compiled", "generated").
 func ParseTier(s string) (Tier, error) { return core.ParseTier(s) }
@@ -345,6 +386,7 @@ func NewPlan(g *Graph, p *Pattern, opts ...Option) (*Plan, error) {
 		res *core.PlanResult
 		err error
 	)
+	t0 := time.Now()
 	if o.baseline {
 		res, err = core.PlanGraphZero(p.p, g.g.Stats())
 	} else {
@@ -353,18 +395,66 @@ func NewPlan(g *Graph, p *Pattern, opts ...Option) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	o.tracer.Span("plan", t0, map[string]string{"graph": g.Name(), "pattern": p.String()})
 	return &Plan{g: g, cfg: res.Best, prep: res.PrepTime, opts: o}, nil
 }
 
 // Count enumerates the full loop nest and returns the number of embeddings.
 func (pl *Plan) Count() int64 {
-	return pl.cfg.Count(pl.g.g, pl.runOptions())
+	pl.traceCompile(false)
+	t0 := time.Now()
+	n := pl.cfg.Count(pl.g.g, pl.runOptions())
+	pl.opts.tracer.Span("run", t0, map[string]string{"mode": "count"})
+	return n
 }
 
 // CountIEP counts with the Inclusion-Exclusion optimization. For counting
 // workloads this is the method to use; it returns the same number as Count.
 func (pl *Plan) CountIEP() int64 {
-	return pl.cfg.CountIEP(pl.g.g, pl.runOptions())
+	pl.traceCompile(true)
+	t0 := time.Now()
+	n := pl.cfg.CountIEP(pl.g.g, pl.runOptions())
+	pl.opts.tracer.Span("run", t0, map[string]string{"mode": "count-iep"})
+	return n
+}
+
+// traceCompile surfaces the lowering phase as its own span when tracing: the
+// compile memo lives on the configuration, so the first call does real work
+// and later ones are lookups — visible as such in the span durations.
+func (pl *Plan) traceCompile(useIEP bool) {
+	if pl.opts.tracer == nil {
+		return
+	}
+	t0 := time.Now()
+	rt := pl.cfg.ResolveTier(pl.g.g, pl.opts.tier, useIEP)
+	if rt != core.TierInterpret {
+		if _, err := pl.cfg.CompileTier(pl.g.g, useIEP, rt); err != nil {
+			rt = core.TierInterpret // the engine falls back the same way
+		}
+	}
+	pl.opts.tracer.Span("compile", t0, map[string]string{"tier": rt.String()})
+}
+
+// NewRunStats allocates a telemetry sink sized for this plan's schedule, for
+// use with WithRunStats (typically passed to NewPlan; a sink can also be
+// installed on an existing plan's runs by re-planning). Reuse across runs
+// with Reset.
+func (pl *Plan) NewRunStats() *RunStats { return telemetry.NewRunStats(pl.cfg.N()) }
+
+// Explain returns the cost model's per-level predictions for this plan
+// without executing anything: a DriftReport whose actual counters are zero.
+// ok is false when the plan carries no cost-model statistics (e.g. a
+// baseline planner configuration built without them).
+func (pl *Plan) Explain(useIEP bool) (*DriftReport, bool) {
+	return pl.cfg.DriftReport(useIEP, nil)
+}
+
+// Drift reconciles collected run statistics against the plan's cost-model
+// predictions: the per-level actual/predicted ratios that show where the
+// model mispredicts on this graph. ok is false when the plan carries no
+// cost-model statistics.
+func (pl *Plan) Drift(useIEP bool, st *RunStats) (*DriftReport, bool) {
+	return pl.cfg.DriftReport(useIEP, st)
 }
 
 // Enumerate calls visit for every embedding. The slice is indexed by
@@ -425,6 +515,7 @@ func (pl *Plan) runOptions() core.RunOptions {
 		ChunkSize:    pl.opts.chunkSize,
 		EdgeParallel: pl.opts.edgePar,
 		Tier:         pl.opts.tier,
+		Stats:        pl.opts.stats,
 	}
 }
 
@@ -597,6 +688,8 @@ func clusterCount(tr cluster.Transport, g *Graph, p *Pattern, copt ClusterOption
 	if chunk < 1 {
 		chunk = pl.opts.chunkSize
 	}
+	t0 := time.Now()
+	defer pl.opts.tracer.Span("cluster-deal", t0, map[string]string{"pattern": p.String()})
 	res, err := cluster.Run(pl.cfg, g.g, cluster.Options{
 		Nodes:          copt.Nodes,
 		WorkersPerNode: copt.WorkersPerNode,
@@ -740,6 +833,13 @@ type QueryServiceOptions struct {
 	// Individual worker loss is recovered within an attempt by re-dealing;
 	// retries cover losing the whole fleet at once.
 	ClusterJobRetries int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the query
+	// handler — an operator opt-in (the profiler exposes heap contents).
+	EnablePprof bool
+	// TraceWriter, if non-nil, receives NDJSON span events (plan, compile,
+	// run, cluster-deal) for every query. The caller owns closing it after
+	// the server stops.
+	TraceWriter io.Writer
 	// Logf, if non-nil, receives lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -769,6 +869,8 @@ func ServeQueries(addr string, opt QueryServiceOptions) (*QueryServer, error) {
 		ClusterAddrs:          opt.ClusterWorkers,
 		ClusterWorkersPerNode: opt.ClusterWorkersPerNode,
 		ClusterJobRetries:     opt.ClusterJobRetries,
+		EnablePprof:           opt.EnablePprof,
+		Tracer:                telemetry.NewTracer(opt.TraceWriter),
 		Logf:                  opt.Logf,
 	})
 	for name, g := range opt.Graphs {

@@ -16,8 +16,10 @@ package analysistest
 
 import (
 	"fmt"
+	"go/ast"
 	"go/importer"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -30,9 +32,23 @@ import (
 
 var wantRE = regexp.MustCompile("`([^`]*)`")
 
-// Run loads testdata/src/<pkg> under dir, applies the analyzer, and checks
-// findings against the fixture's want comments.
-func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
+// fixtureImporter resolves fixture dep packages by testdata directory name
+// and defers everything else to the stdlib source importer.
+type fixtureImporter struct {
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.pkgs[path]; ok {
+		return p, nil
+	}
+	return fi.base.Import(path)
+}
+
+// parseFixture parses every .go file in testdata/src/<pkg> into one package's
+// syntax, in filename order.
+func parseFixture(t *testing.T, fset *token.FileSet, dir, pkg string) []*ast.File {
 	t.Helper()
 	src := filepath.Join(dir, "src", pkg)
 	entries, err := os.ReadDir(src)
@@ -49,17 +65,38 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
 		t.Fatalf("fixture %s has no Go files", src)
 	}
 	sort.Strings(filenames)
-
-	fset := token.NewFileSet()
 	files, err := analysis.ParseFiles(fset, filenames)
 	if err != nil {
 		t.Fatalf("parsing fixture: %v", err)
 	}
+	return files
+}
 
-	// Fixtures import only the standard library, so the source importer
-	// (which type-checks $GOROOT/src directly) resolves everything without
-	// needing compiled export data.
-	imp := importer.ForCompiler(fset, "source", nil)
+// Run loads testdata/src/<pkg> under dir, applies the analyzer, and checks
+// findings against the fixture's want comments.
+//
+// Fixtures import the standard library, resolved by the source importer
+// against $GOROOT/src. A fixture that needs a non-stdlib dependency ships a
+// stub for it as a sibling fixture package and names it in deps: each dep is
+// type-checked first (in order, so later deps may import earlier ones) and
+// made importable by its testdata/src directory name.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkg string, deps ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		base: importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*types.Package),
+	}
+	for _, dep := range deps {
+		dfiles := parseFixture(t, fset, dir, dep)
+		dpkg, _, err := analysis.TypeCheck(fset, dep, dfiles, imp, "")
+		if err != nil {
+			t.Fatalf("type-checking fixture dep %s: %v", dep, err)
+		}
+		imp.pkgs[dep] = dpkg
+	}
+
+	files := parseFixture(t, fset, dir, pkg)
 	tpkg, info, err := analysis.TypeCheck(fset, pkg, files, imp, "")
 	if err != nil {
 		t.Fatalf("type-checking fixture: %v", err)

@@ -1,0 +1,180 @@
+// Package statcheck enforces the telemetry registry's declaration
+// convention. The registry (internal/telemetry) panics at runtime when a
+// metric name is registered twice, and silently accumulates dead entries
+// when a metric is declared but never written — both are bugs a compile
+// can't catch but a convention check can. For every call to
+// telemetry.NewCounter / NewGauge / NewHistogram in production code the
+// analyzer requires:
+//
+//   - the call initializes a package-level var (a registration inside a
+//     function re-executes and panics the process the second time through);
+//   - the metric name is a string literal matching ^graphpi_[a-z0-9_]+$
+//     (literal names are greppable and render valid Prometheus exposition);
+//   - the help string is a non-empty literal;
+//   - no two registrations in the package share a name (the runtime panic,
+//     caught statically);
+//   - the declared var is actually used somewhere in the package — a
+//     registered-but-never-touched metric exports a permanently-zero series
+//     that reads as "this never happens" when really "this isn't counted".
+//
+// Test files are exempt: tests construct registries dynamically on purpose.
+// A deliberate exception carries a trailing `//graphpivet:ignore`.
+package statcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"graphpi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "statcheck",
+	Doc:  "check telemetry metric registrations: package-level, literal graphpi_* names, unique, non-dead",
+	Run:  run,
+}
+
+var nameRE = regexp.MustCompile(`^graphpi_[a-z0-9_]+$`)
+
+// constructors are the registering entry points in the telemetry package.
+var constructors = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+}
+
+func run(pass *analysis.Pass) error {
+	seen := make(map[string]bool) // literal metric names registered so far
+
+	// Pass 1: package-level var declarations — the sanctioned home.
+	// metricVars maps each declared var to its registration for the
+	// dead-metric check.
+	metricVars := make(map[types.Object]ast.Expr)
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					call := registrationCall(pass, val)
+					if call == nil {
+						continue
+					}
+					checkArgs(pass, call, seen)
+					if i < len(vs.Names) {
+						if obj := pass.TypesInfo.ObjectOf(vs.Names[i]); obj != nil {
+							metricVars[obj] = val
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Pass 2: registrations anywhere else are re-executable → runtime panic.
+	for _, fd := range pass.FuncsOf(true) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if rc := registrationCall(pass, call); rc != nil {
+				pass.Reportf(call.Pos(),
+					"telemetry metric registered inside %s: registration re-executes and panics on the second call; declare it once at package level",
+					fd.Name.Name)
+				checkArgs(pass, rc, seen)
+			}
+			return true
+		})
+	}
+
+	// Pass 3: dead metrics. A declared var with no use outside its own
+	// declaration exports a frozen zero series. Exported vars may be used
+	// from other packages, which this single-package pass cannot see.
+	used := make(map[types.Object]bool)
+	for id, obj := range pass.TypesInfo.Uses {
+		if _, tracked := metricVars[obj]; tracked && !pass.InTestFile(id.Pos()) {
+			used[obj] = true
+		}
+	}
+	for obj, val := range metricVars {
+		if !used[obj] && !obj.Exported() {
+			pass.Reportf(val.Pos(),
+				"metric var %s is registered but never used: it exports a permanently-zero series", obj.Name())
+		}
+	}
+	return nil
+}
+
+// registrationCall returns e as a telemetry constructor call, or nil. The
+// receiver package is matched by import-path suffix so the golden fixture's
+// stub "telemetry" package and the real graphpi/internal/telemetry both
+// qualify.
+func registrationCall(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := analysis.CalleeObj(pass.TypesInfo, call)
+	if fn == nil || !constructors[fn.Name()] {
+		return nil
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	if p := pkg.Path(); p != "telemetry" && !strings.HasSuffix(p, "/telemetry") {
+		return nil
+	}
+	return call
+}
+
+// checkArgs validates the (name, help) arguments of one registration.
+func checkArgs(pass *analysis.Pass, call *ast.CallExpr, seen map[string]bool) {
+	if len(call.Args) < 2 {
+		return // does not type-check against the real constructors anyway
+	}
+	name, ok := stringLiteral(call.Args[0])
+	if !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name must be a string literal (computed names defeat grep and duplicate detection)")
+		return
+	}
+	if !nameRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric name %q does not match ^graphpi_[a-z0-9_]+$", name)
+	}
+	if seen[name] {
+		pass.Reportf(call.Args[0].Pos(),
+			"metric %q registered twice in this package: the runtime registry panics on the duplicate", name)
+	}
+	seen[name] = true
+	if help, ok := stringLiteral(call.Args[1]); ok && strings.TrimSpace(help) == "" {
+		pass.Reportf(call.Args[1].Pos(), "metric %q has an empty help string", name)
+	}
+}
+
+// stringLiteral unquotes e when it is a basic string literal.
+func stringLiteral(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

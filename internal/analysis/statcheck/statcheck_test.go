@@ -1,0 +1,12 @@
+package statcheck_test
+
+import (
+	"testing"
+
+	"graphpi/internal/analysis/analysistest"
+	"graphpi/internal/analysis/statcheck"
+)
+
+func TestStatcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", statcheck.Analyzer, "svc", "telemetry")
+}

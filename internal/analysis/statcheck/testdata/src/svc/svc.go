@@ -1,0 +1,60 @@
+// Package svc is the statcheck golden fixture: the sanctioned package-level
+// registration pattern next to every convention violation the analyzer must
+// catch — in-function registration, non-literal and malformed names, empty
+// help, duplicates, and registered-but-never-used metrics.
+package svc
+
+import (
+	"fmt"
+	"time"
+
+	"telemetry"
+)
+
+// The sanctioned shape: package-level vars, literal graphpi_* names,
+// non-empty help, every var written somewhere below.
+var (
+	mQueries = telemetry.NewCounter("graphpi_fixture_queries_total", "Queries served.")
+	mDepth   = telemetry.NewGauge("graphpi_fixture_queue_depth", "Jobs waiting for a slot.")
+	mLatency = telemetry.NewHistogram("graphpi_fixture_latency_seconds", "End-to-end query latency.")
+)
+
+// Exported and unused here: another package may write it, so statcheck
+// stays quiet about it.
+var MErrors = telemetry.NewCounter("graphpi_fixture_errors_total", "Failed queries.")
+
+// Unexported and never touched again: a permanently-zero series.
+var mDead = telemetry.NewCounter("graphpi_fixture_dead_total", "Never incremented.") // want `metric var mDead is registered but never used`
+
+// Name violations, each used below so only the name finding fires.
+var mCaps = telemetry.NewCounter("graphpi_Fixture_Caps", "Uppercase in the name.")        // want `does not match`
+var mNoPrefix = telemetry.NewCounter("fixture_queries_total", "Missing graphpi_ prefix.") // want `does not match`
+
+// Computed names defeat grep and the duplicate check.
+var mComputed = telemetry.NewCounter(fmt.Sprintf("graphpi_fixture_%d", 3), "Computed name.") // want `must be a string literal`
+
+// The registry panics on a duplicate at runtime; statcheck catches it here.
+var mDup = telemetry.NewCounter("graphpi_fixture_queries_total", "Duplicate of mQueries.") // want `registered twice`
+
+// Help must say something.
+var mSilent = telemetry.NewGauge("graphpi_fixture_silent", "   ") // want `empty help string`
+
+func Serve() {
+	mQueries.Inc()
+	mDepth.Set(1)
+	mLatency.Observe(time.Millisecond)
+	mCaps.Inc()
+	mNoPrefix.Inc()
+	mComputed.Inc()
+	mDup.Inc()
+	mSilent.Set(0)
+
+	// Registration inside a function re-executes per call and panics the
+	// process the second time through.
+	again := telemetry.NewCounter("graphpi_fixture_again_total", "Re-registered per call.") // want `registered inside Serve`
+	again.Inc()
+
+	// A deliberate, documented exception is suppressible.
+	once := telemetry.NewGauge("graphpi_fixture_once", "Guarded by sync.Once upstream.") //graphpivet:ignore — constructed under a Once
+	once.Set(2)
+}

@@ -1,0 +1,23 @@
+// Package telemetry is a stub of graphpi/internal/telemetry for the
+// statcheck golden fixture: the constructor shapes statcheck matches on,
+// without the process-global registry (the fixture type-checks against the
+// stdlib source importer, which cannot resolve graphpi packages).
+package telemetry
+
+import "time"
+
+type Counter struct{ v int64 }
+
+func NewCounter(name, help string) *Counter { _, _ = name, help; return &Counter{} }
+func (c *Counter) Inc()                     { c.v++ }
+func (c *Counter) Add(n int64)              { c.v += n }
+
+type Gauge struct{ v int64 }
+
+func NewGauge(name, help string) *Gauge { _, _ = name, help; return &Gauge{} }
+func (g *Gauge) Set(v int64)            { g.v = v }
+
+type Histogram struct{ n int64 }
+
+func NewHistogram(name, help string) *Histogram { _, _ = name, help; return &Histogram{} }
+func (h *Histogram) Observe(d time.Duration)    { _ = d; h.n++ }

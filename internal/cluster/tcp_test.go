@@ -549,3 +549,63 @@ func TestTCPWorkerOverrideCounts(t *testing.T) {
 		t.Errorf("count = %d, want %d", res.Count, want)
 	}
 }
+
+// TestTCPPoolLatencyStatsAndJobDeltas: the master-side latency histograms
+// fill during a job (inter-ack gaps always; the redeal histogram when a rank
+// is lost), and PoolStats.LastJob isolates one job's recovery events — a
+// clean follow-up job reports zero deltas while the lifetime totals keep
+// the earlier loss.
+func TestTCPPoolLatencyStatsAndJobDeltas(t *testing.T) {
+	g := graph.BarabasiAlbert(500, 5, 11)
+	inner := dialWorkers(t, g, 2)
+	tr := NewFaultyTransport(inner, 1, 2)
+	cfg := planFor(t, g, pattern.House())
+	want := cfg.Count(g, core.RunOptions{Workers: 1})
+
+	res, err := runWithTimeout(t, 30*time.Second, cfg, g,
+		Options{WorkersPerNode: 2, ChunkSize: 8, Transport: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != want {
+		t.Errorf("count = %d, want %d", res.Count, want)
+	}
+	st := inner.(PoolStatsProvider).PoolStats()
+	if st.TaskGap.Count == 0 {
+		t.Error("no inter-ack gaps observed")
+	}
+	var bucketTotal int64
+	for _, b := range st.TaskGap.Buckets {
+		bucketTotal += b.Count
+	}
+	if bucketTotal != st.TaskGap.Count {
+		t.Errorf("task-gap buckets sum to %d, count %d", bucketTotal, st.TaskGap.Count)
+	}
+	if st.Redeal.Count == 0 {
+		t.Error("rank loss did not record a redeal drain")
+	}
+	if st.LastJob.Losses == 0 || st.LastJob.Redealt == 0 {
+		t.Errorf("lossy job deltas = %+v, want nonzero losses and redeals", st.LastJob)
+	}
+
+	// A clean second job (bypassing the fault injector): per-job deltas
+	// reset, lifetime totals persist.
+	res2, err := runWithTimeout(t, 30*time.Second, cfg, g,
+		Options{WorkersPerNode: 2, ChunkSize: 8, Transport: inner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Count != want {
+		t.Errorf("second count = %d, want %d", res2.Count, want)
+	}
+	st2 := inner.(PoolStatsProvider).PoolStats()
+	if st2.LastJob.Losses != 0 || st2.LastJob.Redealt != 0 {
+		t.Errorf("clean job deltas = %+v, want zero", st2.LastJob)
+	}
+	if st2.Losses == 0 || st2.Redealt == 0 {
+		t.Errorf("lifetime totals lost earlier events: %+v", st2)
+	}
+	if st2.TaskGap.Count <= st.TaskGap.Count {
+		t.Errorf("second job observed no new gaps: %d → %d", st.TaskGap.Count, st2.TaskGap.Count)
+	}
+}

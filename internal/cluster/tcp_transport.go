@@ -11,6 +11,7 @@ import (
 
 	"graphpi/internal/graph"
 	"graphpi/internal/taskpool"
+	"graphpi/internal/telemetry"
 )
 
 // This file is the master side of the TCP fabric. Each connected worker
@@ -63,6 +64,26 @@ type PoolStats struct {
 	Redealt int64
 	// Losses counts rank-loss events (disconnects and write failures).
 	Losses int64
+	// LastJob isolates the most recently completed job's recovery events.
+	// The counters above are lifetime totals that never reset between jobs;
+	// these deltas answer "did THIS job lose or redeal anything?" without
+	// differencing snapshots across calls.
+	LastJob PoolJobStats
+	// TaskGap observes per-rank inter-acknowledgement gaps — a master-side
+	// proxy for task execution time that needs no wire changes (acks carry
+	// no timing). Steal observes relay latency from a thief's request
+	// arriving to the stolen tasks being forwarded; Redeal observes the
+	// duration of full re-deal drains after a rank loss.
+	TaskGap telemetry.HistogramSnapshot
+	Steal   telemetry.HistogramSnapshot
+	Redeal  telemetry.HistogramSnapshot
+}
+
+// PoolJobStats are one job's recovery-counter deltas.
+type PoolJobStats struct {
+	Rejoins int64
+	Redealt int64
+	Losses  int64
 }
 
 // PoolStatsProvider is implemented by transports that track pool health
@@ -87,6 +108,15 @@ type tcpTransport struct {
 	rejoins atomic.Int64
 	redealt atomic.Int64
 	losses  atomic.Int64
+
+	// Latency histograms (lifetime, like the counters above). Histogram is
+	// internally synchronized, so coordinators observe without holding mu.
+	hTaskGap telemetry.Histogram
+	hSteal   telemetry.Histogram
+	hRedeal  telemetry.Histogram
+
+	// lastJob holds the most recent job's counter deltas, guarded by mu.
+	lastJob PoolJobStats
 }
 
 // workerLink is one master↔worker connection slot. When lost, the slot
@@ -266,6 +296,10 @@ func (t *tcpTransport) PoolStats() PoolStats {
 		Rejoins: t.rejoins.Load(),
 		Redealt: t.redealt.Load(),
 		Losses:  t.losses.Load(),
+		LastJob: t.lastJob,
+		TaskGap: t.hTaskGap.Snapshot(),
+		Steal:   t.hSteal.Snapshot(),
+		Redeal:  t.hRedeal.Snapshot(),
 	}
 	for _, l := range t.links {
 		if !l.lost {
@@ -482,7 +516,10 @@ func (t *tcpTransport) Connect(job *Job, nranks int) (Session, error) {
 	return s, nil
 }
 
-// tcpEvent is one routed worker frame, tagged with its session rank.
+// tcpEvent is one routed worker frame, tagged with its session rank. at is
+// the frame's arrival time at the master (zero for frames that carry no
+// latency signal), stamped in readLoop so relay queueing does not skew the
+// histograms' view of when the worker actually answered.
 type tcpEvent struct {
 	rank  int
 	kind  uint8 // msgAck, msgStealReq, msgStealGive, msgResult; 0 for errors
@@ -491,6 +528,7 @@ type tcpEvent struct {
 	tasks []taskpool.Range
 	res   RankResult
 	err   error
+	at    time.Time
 }
 
 type tcpSession struct {
@@ -608,13 +646,13 @@ func (s *tcpSession) readLoop(rankID int, l *workerLink) {
 				s.events <- tcpEvent{rank: rankID, err: err}
 				return
 			}
-			s.events <- tcpEvent{rank: rankID, kind: msgAck, task: task, delta: delta}
+			s.events <- tcpEvent{rank: rankID, kind: msgAck, task: task, delta: delta, at: time.Now()}
 		case msgStealReq:
 			if _, err := decodeRemaining(payload); err != nil {
 				s.events <- tcpEvent{rank: rankID, err: err}
 				return
 			}
-			s.events <- tcpEvent{rank: rankID, kind: msgStealReq}
+			s.events <- tcpEvent{rank: rankID, kind: msgStealReq, at: time.Now()}
 		case msgStealGive:
 			_, tasks, err := decodeStealGive(payload)
 			if err != nil {
@@ -643,12 +681,24 @@ func (s *tcpSession) readLoop(rankID int, l *workerLink) {
 // unacknowledged tasks — until every rank has reported or been recovered.
 func (s *tcpSession) coordinate() {
 	defer close(s.reduceCh)
+	defer s.finishJobStats(PoolJobStats{
+		Rejoins: s.t.rejoins.Load(),
+		Redealt: s.t.redealt.Load(),
+		Losses:  s.t.losses.Load(),
+	})
 	n := len(s.links)
 	alive := make([]bool, n)
 	done := make([]bool, n)
 	banked := make([]int64, n)
 	acked := make([]int64, n)
 	doneCount := 0
+	// lastAck[r] anchors rank r's inter-ack gap observations; the first gap
+	// is measured from the job's coordination start.
+	jobStart := time.Now()
+	lastAck := make([]time.Time, n)
+	for i := range lastAck {
+		lastAck[i] = jobStart
+	}
 	var parked []tcpEvent // thief requests parked while serving another
 	var redealQueue []taskpool.Range
 
@@ -687,6 +737,11 @@ func (s *tcpSession) coordinate() {
 	// steal relay rebalances from there). It fails the job only when no
 	// live rank remains to take the work.
 	redeal := func() {
+		if len(redealQueue) == 0 {
+			return
+		}
+		start := time.Now()
+		defer s.t.hRedeal.ObserveSince(start)
 		for len(redealQueue) > 0 && s.failErr == nil {
 			target, best := -1, int(^uint(0)>>1)
 			for i := 0; i < n; i++ {
@@ -722,6 +777,10 @@ func (s *tcpSession) coordinate() {
 			banked[ev.rank] += ev.delta
 			acked[ev.rank]++
 			delete(s.outstanding[ev.rank], ev.task)
+			if !ev.at.IsZero() {
+				s.t.hTaskGap.Observe(ev.at.Sub(lastAck[ev.rank]))
+				lastAck[ev.rank] = ev.at
+			}
 		case ev.kind == msgStealGive:
 			// A give with no thief waiting: the thief died while the ask
 			// was in flight. The victim has surrendered these tasks, so
@@ -807,6 +866,9 @@ func (s *tcpSession) coordinate() {
 			for _, t := range gave {
 				s.outstanding[thief][t] = struct{}{}
 			}
+			if !req.at.IsZero() {
+				s.t.hSteal.ObserveSince(req.at)
+			}
 			return
 		}
 		if s.failErr != nil || !alive[thief] || done[thief] {
@@ -865,6 +927,21 @@ func (s *tcpSession) coordinate() {
 			s.t.markLost(l)
 		}
 	}
+}
+
+// finishJobStats publishes this job's recovery-counter deltas (current
+// lifetime totals minus the baseline captured when coordination started) as
+// the transport's LastJob snapshot.
+func (s *tcpSession) finishJobStats(base PoolJobStats) {
+	t := s.t
+	jl := PoolJobStats{
+		Rejoins: t.rejoins.Load() - base.Rejoins,
+		Redealt: t.redealt.Load() - base.Redealt,
+		Losses:  t.losses.Load() - base.Losses,
+	}
+	t.mu.Lock()
+	t.lastJob = jl
+	t.mu.Unlock()
 }
 
 func (s *tcpSession) Reduce() ([]RankResult, error) {

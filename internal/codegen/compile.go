@@ -6,6 +6,7 @@ import (
 	"graphpi/internal/graph"
 	"graphpi/internal/iep"
 	"graphpi/internal/schedule"
+	"graphpi/internal/telemetry"
 	"graphpi/internal/vertexset"
 )
 
@@ -45,6 +46,7 @@ type State struct {
 	bufs  [][]uint32
 	stop  *atomic.Bool
 	count int64
+	st    *telemetry.RunStats // nil when telemetry is disabled
 
 	calc    *iep.Calculator
 	iepSets [][]uint32
@@ -91,7 +93,7 @@ func Compile(prog *Program, g *graph.Graph) *Kernel {
 		}
 		entries[d] = k.compileEntry(lv, scan)
 	}
-	k.steps0 = k.compileSteps(prog.Levels[0].Steps)
+	k.steps0 = k.compileSteps(prog.Levels[0].Steps, 0)
 	switch {
 	case prog.N == 1:
 		// RunRoot short-circuits; no chain to build.
@@ -141,11 +143,20 @@ func (k *Kernel) EdgeCapable() bool { return k.scan1 != nil }
 // Count returns the raw tally accumulated so far (before IEP scaling).
 func (s *State) Count() int64 { return s.count }
 
+// SetStats enables per-level telemetry for this worker state; the closures
+// record into it when non-nil. Stats returns the shard for merging (nil when
+// telemetry was never enabled). Counts are bit-identical either way.
+func (s *State) SetStats(st *telemetry.RunStats) { s.st = st }
+func (s *State) Stats() *telemetry.RunStats      { return s.st }
+
 // RunRoot executes the outermost loop over the vertex range [start, end).
 //
 //graphpi:deterministic
 func (s *State) RunRoot(start, end int) {
 	k := s.k
+	if lst := s.st.Level(0); lst != nil && end > start {
+		lst.Scan(end-start, 0)
+	}
 	if k.n == 1 {
 		if s.stop != nil && s.stop.Load() {
 			return
@@ -175,6 +186,7 @@ func (s *State) RunRootEdges(start, end int) {
 	k := s.k
 	g := s.g
 	steps0, scan1 := k.steps0, k.scan1
+	lst := s.st.Level(0)
 	v := g.SlotOwner(start)
 	for start < end {
 		if s.stop != nil && s.stop.Load() {
@@ -190,6 +202,9 @@ func (s *State) RunRootEdges(start, end int) {
 			stop = end
 		}
 		s.bound[0] = v
+		if lst != nil {
+			lst.Scan(1, 0)
+		}
 		if steps0 != nil {
 			steps0(s)
 		}
@@ -215,24 +230,44 @@ func (k *Kernel) compileEntry(lv Level, scan func(*State, []uint32)) func(*State
 // interpreter's per-candidate bind, leaf call and stop probe all vanish.
 func (k *Kernel) compileScan(lv Level, next func(*State)) func(*State, []uint32) {
 	narrow := compileNarrow(lv.Lowers, lv.Uppers)
-	steps := k.compileSteps(lv.Steps)
+	steps := k.compileSteps(lv.Steps, lv.Depth)
 	dup := lv.Dup
 	d := lv.Depth
 	switch {
 	case lv.IsLeaf && len(dup) == 0:
 		if narrow == nil {
-			return func(s *State, cands []uint32) { s.count += int64(len(cands)) }
+			return func(s *State, cands []uint32) {
+				if lst := s.st.Level(d); lst != nil {
+					lst.Scan(len(cands), 0)
+				}
+				s.count += int64(len(cands))
+			}
 		}
-		return func(s *State, cands []uint32) { s.count += int64(len(narrow(s, cands))) }
+		return func(s *State, cands []uint32) {
+			raw := len(cands)
+			cands = narrow(s, cands)
+			if lst := s.st.Level(d); lst != nil {
+				lst.Scan(len(cands), raw-len(cands))
+			}
+			s.count += int64(len(cands))
+		}
 	case lv.IsLeaf:
 		return func(s *State, cands []uint32) {
+			raw := len(cands)
 			if narrow != nil {
 				cands = narrow(s, cands)
+			}
+			lst := s.st.Level(d)
+			if lst != nil {
+				lst.Scan(len(cands), raw-len(cands))
 			}
 		nextCand:
 			for _, v := range cands {
 				for _, p := range dup {
 					if s.bound[p] == v {
+						if lst != nil {
+							lst.DupSkips++
+						}
 						continue nextCand
 					}
 				}
@@ -242,13 +277,22 @@ func (k *Kernel) compileScan(lv Level, next func(*State)) func(*State, []uint32)
 	case lv.AtCut:
 		iepFn := k.iepFn
 		return func(s *State, cands []uint32) {
+			raw := len(cands)
 			if narrow != nil {
 				cands = narrow(s, cands)
+			}
+			lst := s.st.Level(d)
+			if lst != nil {
+				lst.Scan(len(cands), raw-len(cands))
+				defer lst.ScanTimerEnd(lst.ScanTimerStart())
 			}
 		nextCand:
 			for _, v := range cands {
 				for _, p := range dup {
 					if s.bound[p] == v {
+						if lst != nil {
+							lst.DupSkips++
+						}
 						continue nextCand
 					}
 				}
@@ -261,8 +305,13 @@ func (k *Kernel) compileScan(lv Level, next func(*State)) func(*State, []uint32)
 		}
 	case len(dup) == 0:
 		return func(s *State, cands []uint32) {
+			raw := len(cands)
 			if narrow != nil {
 				cands = narrow(s, cands)
+			}
+			if lst := s.st.Level(d); lst != nil {
+				lst.Scan(len(cands), raw-len(cands))
+				defer lst.ScanTimerEnd(lst.ScanTimerStart())
 			}
 			for _, v := range cands {
 				s.bound[d] = v
@@ -277,13 +326,22 @@ func (k *Kernel) compileScan(lv Level, next func(*State)) func(*State, []uint32)
 		}
 	default:
 		return func(s *State, cands []uint32) {
+			raw := len(cands)
 			if narrow != nil {
 				cands = narrow(s, cands)
+			}
+			lst := s.st.Level(d)
+			if lst != nil {
+				lst.Scan(len(cands), raw-len(cands))
+				defer lst.ScanTimerEnd(lst.ScanTimerStart())
 			}
 		nextCand:
 			for _, v := range cands {
 				for _, p := range dup {
 					if s.bound[p] == v {
+						if lst != nil {
+							lst.DupSkips++
+						}
 						continue nextCand
 					}
 				}
@@ -305,7 +363,7 @@ func (k *Kernel) compileScan(lv Level, next func(*State)) func(*State, []uint32)
 // schedules reach this).
 func (k *Kernel) compileFull(lv Level, next func(*State)) func(*State) {
 	bounds := compileWindow(lv.Lowers, lv.Uppers)
-	steps := k.compileSteps(lv.Steps)
+	steps := k.compileSteps(lv.Steps, lv.Depth)
 	dup := lv.Dup
 	d := lv.Depth
 	iepFn := k.iepFn
@@ -314,6 +372,13 @@ func (k *Kernel) compileFull(lv Level, next func(*State)) func(*State) {
 	if isLeaf && len(dup) == 0 {
 		return func(s *State) {
 			start, end := bounds(s)
+			if lst := s.st.Level(d); lst != nil {
+				size := end - start
+				if size < 0 {
+					size = 0
+				}
+				lst.Scan(size, s.nv-size)
+			}
 			if end > start {
 				s.count += int64(end - start)
 			}
@@ -321,11 +386,23 @@ func (k *Kernel) compileFull(lv Level, next func(*State)) func(*State) {
 	}
 	return func(s *State) {
 		start, end := bounds(s)
+		lst := s.st.Level(d)
+		if lst != nil {
+			size := end - start
+			if size < 0 {
+				size = 0
+			}
+			lst.Scan(size, s.nv-size)
+			defer lst.ScanTimerEnd(lst.ScanTimerStart())
+		}
 	nextCand:
 		for vi := start; vi < end; vi++ {
 			v := uint32(vi)
 			for _, p := range dup {
 				if s.bound[p] == v {
+					if lst != nil {
+						lst.DupSkips++
+					}
 					continue nextCand
 				}
 			}
@@ -427,13 +504,14 @@ func windowOf(s *State, lowers, uppers []uint8) (lo uint32, hasLo bool, hi uint3
 
 // compileSteps compiles a level's hoisted intersections. nil when the level
 // has none (the common case — only multi-parent candidates need steps).
-func (k *Kernel) compileSteps(steps []Step) func(*State) {
+// d is the hosting schedule level, used only for telemetry attribution.
+func (k *Kernel) compileSteps(steps []Step, d int) func(*State) {
 	if len(steps) == 0 {
 		return nil
 	}
 	fns := make([]func(*State), len(steps))
 	for i, st := range steps {
-		fns[i] = k.compileStep(st)
+		fns[i] = k.compileStep(st, d)
 	}
 	if len(fns) == 1 {
 		return fns[0]
@@ -452,7 +530,7 @@ func (k *Kernel) compileSteps(steps []Step) func(*State) {
 // interpreter's full hybrid dispatch (including the left-side probe):
 // dropping a bitmap probe trades O(|small|) walks for full merges and loses
 // far more than the skipped comparisons save.
-func (k *Kernel) compileStep(st Step) func(*State) {
+func (k *Kernel) compileStep(st Step, d int) func(*State) {
 	out := st.Out
 	dep := st.Depth
 	fromBuf := st.LeftBuf >= 0
@@ -466,19 +544,23 @@ func (k *Kernel) compileStep(st Step) func(*State) {
 	case KernelMerge:
 		if fromBuf {
 			return func(s *State) {
+				s.recIntersect(d, telemetry.KernelMerge)
 				s.bufs[out] = vertexset.IntersectMerge(s.bufs[out], s.bufs[lb], s.g.Neighbors(s.bound[dep]))
 			}
 		}
 		return func(s *State) {
+			s.recIntersect(d, telemetry.KernelMerge)
 			s.bufs[out] = vertexset.IntersectMerge(s.bufs[out], s.g.Neighbors(s.bound[lp]), s.g.Neighbors(s.bound[dep]))
 		}
 	case KernelGallop:
 		if fromBuf {
 			return func(s *State) {
+				s.recIntersect(d, telemetry.KernelGallop)
 				s.bufs[out] = vertexset.IntersectGallop(s.bufs[out], s.bufs[lb], s.g.Neighbors(s.bound[dep]))
 			}
 		}
 		return func(s *State) {
+			s.recIntersect(d, telemetry.KernelGallop)
 			s.bufs[out] = vertexset.IntersectGallop(s.bufs[out], s.g.Neighbors(s.bound[lp]), s.g.Neighbors(s.bound[dep]))
 		}
 	case KernelBitmap, KernelAdaptive:
@@ -490,9 +572,11 @@ func (k *Kernel) compileStep(st Step) func(*State) {
 					rv := s.bound[dep]
 					right := s.g.Neighbors(rv)
 					if bm := s.g.HubBitmap(rv); bm != nil && len(l) <= len(right) {
+						s.recIntersect(d, telemetry.KernelBitmap)
 						s.bufs[out] = vertexset.IntersectBitmap(s.bufs[out][:0], l, bm)
 						return
 					}
+					s.recAdaptive(d, len(l), len(right))
 					s.bufs[out] = vertexset.Intersect(s.bufs[out], l, right)
 				}
 			}
@@ -503,13 +587,16 @@ func (k *Kernel) compileStep(st Step) func(*State) {
 				rv := s.bound[dep]
 				right := s.g.Neighbors(rv)
 				if bm := s.g.HubBitmap(rv); bm != nil && len(l) <= len(right) {
+					s.recIntersect(d, telemetry.KernelBitmap)
 					s.bufs[out] = vertexset.IntersectBitmap(s.bufs[out][:0], l, bm)
 					return
 				}
 				if bm := s.g.HubBitmap(s.bound[lp]); bm != nil && len(right) < len(l) {
+					s.recIntersect(d, telemetry.KernelBitmap)
 					s.bufs[out] = vertexset.IntersectBitmap(s.bufs[out][:0], right, bm)
 					return
 				}
+				s.recAdaptive(d, len(l), len(right))
 				s.bufs[out] = vertexset.Intersect(s.bufs[out], l, right)
 			}
 		}
@@ -517,12 +604,33 @@ func (k *Kernel) compileStep(st Step) func(*State) {
 	default:
 		if fromBuf {
 			return func(s *State) {
-				s.bufs[out] = vertexset.Intersect(s.bufs[out], s.bufs[lb], s.g.Neighbors(s.bound[dep]))
+				l := s.bufs[lb]
+				right := s.g.Neighbors(s.bound[dep])
+				s.recAdaptive(d, len(l), len(right))
+				s.bufs[out] = vertexset.Intersect(s.bufs[out], l, right)
 			}
 		}
 		return func(s *State) {
-			s.bufs[out] = vertexset.Intersect(s.bufs[out], s.g.Neighbors(s.bound[lp]), s.g.Neighbors(s.bound[dep]))
+			l := s.g.Neighbors(s.bound[lp])
+			right := s.g.Neighbors(s.bound[dep])
+			s.recAdaptive(d, len(l), len(right))
+			s.bufs[out] = vertexset.Intersect(s.bufs[out], l, right)
 		}
+	}
+}
+
+// recIntersect attributes one intersection to a level's stats; recAdaptive
+// classifies an adaptive dispatch by the rule vertexset.Intersect applies.
+// Both are nil-safe single-branch no-ops when telemetry is disabled.
+func (s *State) recIntersect(d, kernel int) {
+	if lst := s.st.Level(d); lst != nil {
+		lst.Intersect(kernel)
+	}
+}
+
+func (s *State) recAdaptive(d, lenA, lenB int) {
+	if lst := s.st.Level(d); lst != nil {
+		lst.Intersect(telemetry.ClassifyIntersect(lenA, lenB, vertexset.GallopRatio))
 	}
 }
 
@@ -532,7 +640,11 @@ func (k *Kernel) compileStep(st Step) func(*State) {
 func (k *Kernel) compileIEP() func(*State) int64 {
 	srcs := k.prog.IEP
 	base := k.prog.N - k.prog.KIEP
+	cut := k.prog.IEPCut
 	return func(s *State) int64 {
+		if lst := s.st.Level(cut); lst != nil {
+			lst.IEPCounts++
+		}
 		for i, src := range srcs {
 			if src.Parent >= 0 {
 				p := s.bound[src.Parent]

@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 
 	"graphpi/internal/graph"
+	"graphpi/internal/telemetry"
 	"graphpi/internal/vertexset"
 )
 
@@ -88,6 +89,68 @@ func CliqueEdgeRange(q int) (RangeKernel, bool) {
 	return nil, false
 }
 
+// StatsRangeKernel is a RangeKernel that also records per-level telemetry
+// into st, which must be non-nil with at least q levels. The traversal and
+// the returned count are bit-identical to the plain kernel's; the plain
+// kernels stay untouched so disabled runs pay nothing.
+type StatsRangeKernel func(g *graph.Graph, start, end int, stop *atomic.Bool, st *telemetry.RunStats) int64
+
+// CliqueRangeStats returns the telemetry-recording vertex-parallel kernel
+// counting K_q, if the suite has one.
+func CliqueRangeStats(q int) (StatsRangeKernel, bool) {
+	switch q {
+	case 3:
+		return countK3Stats, true
+	case 4:
+		return countK4Stats, true
+	case 5:
+		return countK5Stats, true
+	case 6:
+		return countK6Stats, true
+	case 7:
+		return countK7Stats, true
+	case 8:
+		return countK8Stats, true
+	case 9:
+		return countK9Stats, true
+	case 10:
+		return countK10Stats, true
+	case 11:
+		return countK11Stats, true
+	case 12:
+		return countK12Stats, true
+	}
+	return nil, false
+}
+
+// CliqueEdgeRangeStats returns the telemetry-recording edge-parallel kernel
+// counting K_q, if the suite has one.
+func CliqueEdgeRangeStats(q int) (StatsRangeKernel, bool) {
+	switch q {
+	case 3:
+		return countK3EdgesStats, true
+	case 4:
+		return countK4EdgesStats, true
+	case 5:
+		return countK5EdgesStats, true
+	case 6:
+		return countK6EdgesStats, true
+	case 7:
+		return countK7EdgesStats, true
+	case 8:
+		return countK8EdgesStats, true
+	case 9:
+		return countK9EdgesStats, true
+	case 10:
+		return countK10EdgesStats, true
+	case 11:
+		return countK11EdgesStats, true
+	case 12:
+		return countK12EdgesStats, true
+	}
+	return nil, false
+}
+
 // cliqueStep narrows one clique level: dst = {u ∈ left : u ∈ N(v), u < v}.
 // Because left already holds vertices below every earlier bound vertex of
 // the descending chain, the result is exactly the next level's candidate
@@ -99,4 +162,20 @@ func cliqueStep(dst, left []uint32, g *graph.Graph, v uint32) []uint32 {
 		return vertexset.IntersectBitmap(dst[:0], left, bm)
 	}
 	return vertexset.Intersect(dst, left, vertexset.Below(right, v))
+}
+
+// cliqueStepStats is cliqueStep with telemetry: the Below narrowing counts
+// as the binding level's prunes and the intersection is attributed to the
+// kernel family actually dispatched. Results are bit-identical.
+func cliqueStepStats(dst, left []uint32, g *graph.Graph, v uint32, lst *telemetry.LevelStats) []uint32 {
+	nl := vertexset.Below(left, v)
+	lst.Prunes += uint64(len(left) - len(nl))
+	right := g.Neighbors(v)
+	if bm := g.HubBitmap(v); bm != nil && len(nl) <= len(right) {
+		lst.Intersect(telemetry.KernelBitmap)
+		return vertexset.IntersectBitmap(dst[:0], nl, bm)
+	}
+	right = vertexset.Below(right, v)
+	lst.Intersect(telemetry.ClassifyIntersect(len(nl), len(right), vertexset.GallopRatio))
+	return vertexset.Intersect(dst, nl, right)
 }

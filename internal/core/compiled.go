@@ -77,8 +77,11 @@ type Compiled struct {
 	tier   Tier // TierCompiled or TierGenerated
 	useIEP bool
 	kern   *codegen.Kernel // runtime-compiled closures (TierCompiled)
-	// generated clique kernels (TierGenerated)
-	genRange, genEdge gen.RangeKernel
+	// generated clique kernels (TierGenerated); the Stats variants record
+	// per-level telemetry and are dispatched only when a run carries a
+	// RunOptions.Stats sink.
+	genRange, genEdge           gen.RangeKernel
+	genRangeStats, genEdgeStats gen.StatsRangeKernel
 	// scaleNum/scaleDen convert the raw tally into the final count. The
 	// generated kernels tally final counts directly (1/1); IEP-compiled
 	// kernels carry the configuration's over-count correction.
@@ -152,6 +155,12 @@ func (c *Config) buildCompiled(g *graph.Graph, useIEP bool, tier Tier) (*Compile
 			return nil, fmt.Errorf("core: generated suite has no k%d kernel", c.cliqueQ)
 		}
 		cp.genRange, cp.genEdge = fn, efn
+		sfn, sok := gen.CliqueRangeStats(c.cliqueQ)
+		esfn, esok := gen.CliqueEdgeRangeStats(c.cliqueQ)
+		if !sok || !esok {
+			return nil, fmt.Errorf("core: generated suite has no k%d stats kernel", c.cliqueQ)
+		}
+		cp.genRangeStats, cp.genEdgeStats = sfn, esfn
 		// A clique's depth-1 loop iterates N(v0) by construction, so the
 		// generated kernels always have the edge-parallel shape.
 		cp.edgeOK = true

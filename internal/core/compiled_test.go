@@ -8,6 +8,7 @@ import (
 	"graphpi/internal/pattern"
 	"graphpi/internal/restrict"
 	"graphpi/internal/schedule"
+	"graphpi/internal/telemetry"
 )
 
 // chainSet builds the total-order restriction chain id(v1)>id(v0),
@@ -28,7 +29,9 @@ func cliqueConfig(t *testing.T, q int) *Config {
 }
 
 // matrixCompare counts under every (tier, workers, edge-parallel) cell and
-// compares against the single-worker interpreter.
+// compares against the single-worker interpreter. Each tier also runs one
+// cell with telemetry enabled: collection must leave the count bit-identical
+// and must actually populate the per-level counters.
 func matrixCompare(t *testing.T, name string, cfg *Config, g *graph.Graph, tiers []Tier, useIEP bool) {
 	t.Helper()
 	count := func(opt RunOptions) int64 {
@@ -47,6 +50,14 @@ func matrixCompare(t *testing.T, name string, cfg *Config, g *graph.Graph, tiers
 						name, useIEP, tier, workers, ep, got, want)
 				}
 			}
+		}
+		st := telemetry.NewRunStats(cfg.N())
+		if got := count(RunOptions{Workers: 4, Tier: tier, Stats: st}); got != want {
+			t.Errorf("%s iep=%v tier=%s with telemetry: counted %d, interpreter %d",
+				name, useIEP, tier, got, want)
+		}
+		if st.Levels[0].Scans == 0 {
+			t.Errorf("%s iep=%v tier=%s: telemetry run recorded no level-0 scans", name, useIEP, tier)
 		}
 	}
 }

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"graphpi/internal/costmodel"
+	"graphpi/internal/telemetry"
+)
+
+// PredictedLevels maps the planner's cost model (Eq. 6/7 via
+// costmodel.Estimate) onto the neutral per-level form telemetry.BuildDrift
+// consumes: loop sizes, filter probabilities, hoisted-intersection counts
+// and the IEP cut. ok is false when the configuration was built without
+// planner statistics (NewConfig called directly) — there is nothing to
+// reconcile a run against.
+func (c *Config) PredictedLevels(useIEP bool) (telemetry.PredictedLevels, bool) {
+	if c.planParams == nil {
+		return telemetry.PredictedLevels{}, false
+	}
+	b := costmodel.Estimate(c.plan, c.n, c.PosRestrictions(), *c.planParams, costmodel.GraphPi)
+	pl := telemetry.PredictedLevels{
+		LoopSize:   b.LoopSize,
+		FilterProb: b.FilterProb,
+		Steps:      make([]int, c.n),
+		IEPCut:     -1,
+		Cost:       b.Cost,
+	}
+	for d := 0; d < c.n; d++ {
+		pl.Steps[d] = len(c.plan.Steps[d])
+	}
+	if k := c.effectiveIEPK(); useIEP && k >= 1 {
+		pl.IEPCut = c.n - k - 1
+	}
+	return pl, true
+}
+
+// DriftReport reconciles a run's collected stats against this
+// configuration's cost-model predictions. st may be nil (an explain
+// request): the report then carries predictions only. ok is false when the
+// configuration carries no planner statistics.
+func (c *Config) DriftReport(useIEP bool, st *telemetry.RunStats) (*telemetry.DriftReport, bool) {
+	pl, ok := c.PredictedLevels(useIEP)
+	if !ok {
+		return nil, false
+	}
+	return telemetry.BuildDrift(pl, st), true
+}

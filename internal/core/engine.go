@@ -11,6 +11,7 @@ import (
 	"graphpi/internal/iep"
 	"graphpi/internal/schedule"
 	"graphpi/internal/taskpool"
+	"graphpi/internal/telemetry"
 	"graphpi/internal/vertexset"
 )
 
@@ -61,6 +62,12 @@ type RunOptions struct {
 	// compiled tier cannot host fall back to the interpreter. Counts are
 	// bit-identical across tiers, so the choice is purely about speed.
 	Tier Tier
+	// Stats, when non-nil, enables per-level telemetry: every worker
+	// records into a private shard and the shards are merged into Stats
+	// when the run returns. The counts themselves are bit-identical with
+	// and without Stats; the disabled path pays one nil check per
+	// candidate scan. Allocate with telemetry.NewRunStats(cfg.N()).
+	Stats *telemetry.RunStats
 }
 
 func (o RunOptions) chunk(n, workers int) int {
@@ -253,6 +260,9 @@ func (c *Config) execute(g *graph.Graph, opt RunOptions, useIEP bool, visit func
 			r := runners[w]
 			if r == nil {
 				r = newRunner(c, g, useIEP, visit, &stop)
+				if opt.Stats != nil {
+					r.st = telemetry.NewRunStats(c.n)
+				}
 				runners[w] = r
 			}
 			run(r, rg)
@@ -270,6 +280,7 @@ func (c *Config) execute(g *graph.Graph, opt RunOptions, useIEP bool, visit func
 	for _, r := range runners {
 		if r != nil {
 			total += r.count
+			opt.Stats.Merge(r.st)
 		}
 	}
 	if useIEP && c.effectiveIEPK() >= 1 {
@@ -290,8 +301,25 @@ func (c *Config) runCompiled(comp *Compiled, g *graph.Graph, opt RunOptions, wor
 	var total int64
 	if comp.tier == TierGenerated {
 		counts := make([]int64, workers)
+		var shards []*telemetry.RunStats
+		if opt.Stats != nil {
+			shards = make([]*telemetry.RunStats, workers)
+		}
 		body := func(w int, rg taskpool.Range) {
 			if stop.Load() {
+				return
+			}
+			if shards != nil {
+				sh := shards[w]
+				if sh == nil {
+					sh = telemetry.NewRunStats(c.n)
+					shards[w] = sh
+				}
+				if edgePar {
+					counts[w] += comp.genEdgeStats(g, rg.Start, rg.End, stop, sh)
+				} else {
+					counts[w] += comp.genRangeStats(g, rg.Start, rg.End, stop, sh)
+				}
 				return
 			}
 			if edgePar {
@@ -309,6 +337,9 @@ func (c *Config) runCompiled(comp *Compiled, g *graph.Graph, opt RunOptions, wor
 		for _, n := range counts {
 			total += n
 		}
+		for _, sh := range shards {
+			opt.Stats.Merge(sh)
+		}
 	} else {
 		states := make([]*codegen.State, workers)
 		body := func(w int, rg taskpool.Range) {
@@ -318,6 +349,9 @@ func (c *Config) runCompiled(comp *Compiled, g *graph.Graph, opt RunOptions, wor
 			s := states[w]
 			if s == nil {
 				s = comp.kern.NewState(stop)
+				if opt.Stats != nil {
+					s.SetStats(telemetry.NewRunStats(c.n))
+				}
 				states[w] = s
 			}
 			if edgePar {
@@ -335,6 +369,7 @@ func (c *Config) runCompiled(comp *Compiled, g *graph.Graph, opt RunOptions, wor
 		for _, s := range states {
 			if s != nil {
 				total += s.Count()
+				opt.Stats.Merge(s.Stats())
 			}
 		}
 	}
@@ -412,6 +447,7 @@ type runner struct {
 	orig  []uint32 // new→old id map of a reordered graph; nil = identity
 	stop  *atomic.Bool
 	count int64
+	st    *telemetry.RunStats // nil when telemetry is disabled
 
 	hasHubs bool
 	useIEP  bool
@@ -454,6 +490,9 @@ func newRunner(cfg *Config, g *graph.Graph, useIEP bool, visit func([]uint32) bo
 
 // runRoot executes the outermost loop over the vertex range [start, end).
 func (r *runner) runRoot(start, end int) {
+	if lst := r.st.Level(0); lst != nil && end > start {
+		lst.Scan(end-start, 0)
+	}
 	n := r.cfg.n
 	for v := start; v < end; v++ {
 		if r.stop != nil && r.stop.Load() {
@@ -494,6 +533,9 @@ func (r *runner) runRootEdges(start, end int) {
 			stop = end
 		}
 		r.bound[0] = v
+		if lst := r.st.Level(0); lst != nil {
+			lst.Scan(1, 0)
+		}
 		r.runSteps(0)
 		r.runList(1, g.AdjSlots(start, stop))
 		start = stop
@@ -538,12 +580,18 @@ func (r *runner) run(depth int) {
 // runList executes the loop at depth over an explicit sorted candidate set.
 func (r *runner) runList(depth int, cands []uint32) {
 	cfg := r.cfg
+	raw := len(cands)
 	lo, hasLo, hi := r.window(depth)
 	if hi != maxUint32 {
 		cands = vertexset.Below(cands, hi)
 	}
 	if hasLo {
 		cands = vertexset.Above(cands, lo)
+	}
+	lst := r.st.Level(depth)
+	if lst != nil {
+		lst.Scan(len(cands), raw-len(cands))
+		defer lst.ScanTimerEnd(lst.ScanTimerStart())
 	}
 	isLeaf := depth == cfg.n-1
 	atCut := depth == r.iepCut
@@ -555,6 +603,9 @@ next:
 	for _, v := range cands {
 		for _, p := range dup {
 			if r.bound[p] == v {
+				if lst != nil {
+					lst.DupSkips++
+				}
 				continue next
 			}
 		}
@@ -590,6 +641,15 @@ func (r *runner) runFull(depth int) {
 	if hi != maxUint32 && int(hi) < end {
 		end = int(hi)
 	}
+	lst := r.st.Level(depth)
+	if lst != nil {
+		size := end - start
+		if size < 0 {
+			size = 0
+		}
+		lst.Scan(size, r.g.NumVertices()-size)
+		defer lst.ScanTimerEnd(lst.ScanTimerStart())
+	}
 	isLeaf := depth == r.cfg.n-1
 	atCut := depth == r.iepCut
 	dup := r.cfg.dupCheck[depth]
@@ -598,6 +658,9 @@ next:
 		v := uint32(vi)
 		for _, p := range dup {
 			if r.bound[p] == v {
+				if lst != nil {
+					lst.DupSkips++
+				}
 				continue next
 			}
 		}
@@ -626,32 +689,42 @@ next:
 // bitmap and the other side is smaller, the O(|small|) bitmap probe replaces
 // the scalar merge/gallop.
 func (r *runner) runSteps(depth int) {
-	for _, st := range r.cfg.plan.Steps[depth] {
+	lst := r.st.Level(depth)
+	for _, stp := range r.cfg.plan.Steps[depth] {
 		var left []uint32
 		var leftBM vertexset.Bitmap
-		if st.LeftBuf >= 0 {
-			left = r.bufs[st.LeftBuf]
+		if stp.LeftBuf >= 0 {
+			left = r.bufs[stp.LeftBuf]
 		} else {
-			lp := r.bound[st.LeftParent]
+			lp := r.bound[stp.LeftParent]
 			left = r.g.Neighbors(lp)
 			if r.hasHubs {
 				leftBM = r.g.HubBitmap(lp)
 			}
 		}
-		rv := r.bound[st.Depth]
+		rv := r.bound[stp.Depth]
 		right := r.g.Neighbors(rv)
-		out := r.bufs[st.Out][:0]
+		out := r.bufs[stp.Out][:0]
 		if r.hasHubs {
 			if bm := r.g.HubBitmap(rv); bm != nil && len(left) <= len(right) {
-				r.bufs[st.Out] = vertexset.IntersectBitmap(out, left, bm)
+				if lst != nil {
+					lst.Intersect(telemetry.KernelBitmap)
+				}
+				r.bufs[stp.Out] = vertexset.IntersectBitmap(out, left, bm)
 				continue
 			}
 			if leftBM != nil && len(right) < len(left) {
-				r.bufs[st.Out] = vertexset.IntersectBitmap(out, right, leftBM)
+				if lst != nil {
+					lst.Intersect(telemetry.KernelBitmap)
+				}
+				r.bufs[stp.Out] = vertexset.IntersectBitmap(out, right, leftBM)
 				continue
 			}
 		}
-		r.bufs[st.Out] = vertexset.Intersect(out, left, right)
+		if lst != nil {
+			lst.Intersect(telemetry.ClassifyIntersect(len(left), len(right), vertexset.GallopRatio))
+		}
+		r.bufs[stp.Out] = vertexset.Intersect(out, left, right)
 	}
 }
 
@@ -684,6 +757,9 @@ func (r *runner) iepCount() int64 {
 	cfg := r.cfg
 	k := len(r.iepSets)
 	base := cfg.n - k
+	if lst := r.st.Level(base - 1); lst != nil {
+		lst.IEPCounts++
+	}
 	for i := 0; i < k; i++ {
 		cand := cfg.plan.Cand[base+i]
 		switch cand.Kind {

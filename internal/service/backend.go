@@ -10,6 +10,7 @@ import (
 	"graphpi/internal/cluster"
 	"graphpi/internal/core"
 	"graphpi/internal/graph"
+	"graphpi/internal/telemetry"
 )
 
 // A backend executes a compiled counting job. The service plans once
@@ -23,8 +24,10 @@ type backend interface {
 	name() string
 	// count runs the configuration to completion or ctx cancellation. tier
 	// selects the local execution tier; the cluster backend ignores it (the
-	// wire protocol runs the interpreter on every worker).
-	count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int, tier core.Tier) (int64, error)
+	// wire protocol runs the interpreter on every worker). stats, when
+	// non-nil, receives the run's per-level telemetry — local backend only,
+	// since the wire protocol reduces counts, not counters.
+	count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int, tier core.Tier, stats *telemetry.RunStats) (int64, error)
 }
 
 // localBackend runs on the in-process engine with the job's worker budget.
@@ -32,8 +35,8 @@ type localBackend struct{}
 
 func (localBackend) name() string { return "local" }
 
-func (localBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int, tier core.Tier) (int64, error) {
-	opt := core.RunOptions{Workers: workers, Tier: tier}
+func (localBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int, tier core.Tier, stats *telemetry.RunStats) (int64, error) {
+	opt := core.RunOptions{Workers: workers, Tier: tier, Stats: stats}
 	if useIEP {
 		return cfg.CountIEPCtx(ctx, g, opt)
 	}
@@ -57,6 +60,7 @@ type clusterBackend struct {
 	addrs          []string
 	workersPerNode int
 	retries        int // extra attempts after the first (≥ 0)
+	tracer         *telemetry.Tracer
 
 	jobMu sync.Mutex // one wire job at a time
 	mu    sync.Mutex
@@ -68,7 +72,7 @@ type clusterBackend struct {
 	jobRetries atomic.Int64
 }
 
-func newClusterBackend(addrs []string, workersPerNode, retries int) *clusterBackend {
+func newClusterBackend(addrs []string, workersPerNode, retries int, tracer *telemetry.Tracer) *clusterBackend {
 	if workersPerNode < 1 {
 		workersPerNode = 2
 	}
@@ -79,6 +83,7 @@ func newClusterBackend(addrs []string, workersPerNode, retries int) *clusterBack
 		addrs:          append([]string(nil), addrs...),
 		workersPerNode: workersPerNode,
 		retries:        retries,
+		tracer:         tracer,
 	}
 }
 
@@ -118,6 +123,9 @@ func (b *clusterBackend) bankLocked(tr cluster.Transport) {
 		b.base.Rejoins += st.Rejoins
 		b.base.Redealt += st.Redealt
 		b.base.Losses += st.Losses
+		b.base.TaskGap.Merge(st.TaskGap)
+		b.base.Steal.Merge(st.Steal)
+		b.base.Redeal.Merge(st.Redeal)
 	}
 }
 
@@ -128,6 +136,11 @@ func (b *clusterBackend) poolStats() (st cluster.PoolStats, known bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st = b.base
+	// Detach the histogram buckets: st is a shallow copy of base, and the
+	// merges below must not rewrite base's backing arrays.
+	st.TaskGap = st.TaskGap.Clone()
+	st.Steal = st.Steal.Clone()
+	st.Redeal = st.Redeal.Clone()
 	st.Workers = len(b.addrs)
 	if b.tr == nil {
 		return st, false
@@ -142,10 +155,14 @@ func (b *clusterBackend) poolStats() (st cluster.PoolStats, known bool) {
 	st.Rejoins += cur.Rejoins
 	st.Redealt += cur.Redealt
 	st.Losses += cur.Losses
+	st.LastJob = cur.LastJob
+	st.TaskGap.Merge(cur.TaskGap)
+	st.Steal.Merge(cur.Steal)
+	st.Redeal.Merge(cur.Redeal)
 	return st, true
 }
 
-func (b *clusterBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int, _ core.Tier) (int64, error) {
+func (b *clusterBackend) count(ctx context.Context, cfg *core.Config, g *graph.Graph, useIEP bool, workers int, _ core.Tier, _ *telemetry.RunStats) (int64, error) {
 	b.jobMu.Lock()
 	defer b.jobMu.Unlock()
 	var lastErr error
@@ -174,11 +191,17 @@ func (b *clusterBackend) count(ctx context.Context, cfg *core.Config, g *graph.G
 		}
 		ch := make(chan outcome, 1)
 		go func() {
+			t0 := time.Now()
 			res, err := cluster.Run(cfg, g, cluster.Options{
 				WorkersPerNode: b.workersPerNode,
 				UseIEP:         useIEP,
 				Transport:      tr,
 			})
+			attrs := map[string]string{"attempt": fmt.Sprint(attempt)}
+			if err != nil {
+				attrs["error"] = err.Error()
+			}
+			b.tracer.Span("cluster-deal", t0, attrs)
 			ch <- outcome{res, err}
 		}()
 		select {

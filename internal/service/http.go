@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -25,14 +26,19 @@ import (
 //	GET  /jobs                  all tracked jobs, newest first
 //	GET  /jobs/{id}             one job
 //	POST /jobs/{id}/cancel      cancel a queued or running job
-//	GET  /metrics               expvar-style counters
+//	GET  /explain               plan + cost-model predictions, no execution
+//	GET  /metrics               JSON counters; ?format=prometheus for scrapers
+//	GET  /debug/pprof/...       net/http/pprof (only with Options.EnablePprof)
 //
 // Query parameters for /count and /enumerate: graph (resident graph name;
 // optional when exactly one graph is resident), pattern (a named pattern or
 // "n:adjacency"), iep (default true for /count), backend (auto|local|
 // cluster), workers (per-job budget cap), planner (graphpi|graphzero),
-// tier (count: auto|interpret|compiled|generated; local backend only), and
-// limit (enumerate: stop after N embeddings).
+// tier (count: auto|interpret|compiled|generated; local backend only),
+// profile (count: collect per-level run stats and a cost-model drift report
+// into the result's "profile" field), and limit (enumerate: stop after N
+// embeddings). /explain accepts the same graph/pattern/iep/planner/tier
+// parameters.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -55,9 +61,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleJobCancel)
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.MetricsSnapshot())
-	})
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.opt.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -141,6 +153,13 @@ func parseQuery(r *http.Request, countDefaultIEP bool) (queryRequest, error) {
 			return req, &statusError{400, err.Error()}
 		}
 		req.tier = t
+	}
+	if v := q.Get("profile"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return req, &statusError{400, fmt.Sprintf("bad profile value %q", v)}
+		}
+		req.profile = b
 	}
 	return req, nil
 }

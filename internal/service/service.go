@@ -38,6 +38,18 @@ import (
 	"graphpi/internal/graph"
 	"graphpi/internal/pattern"
 	"graphpi/internal/taskpool"
+	"graphpi/internal/telemetry"
+)
+
+// Process-level metrics, registered once at package level (the statcheck
+// convention). Servers share them: they describe the process, not one Server.
+var (
+	mCountQueries = telemetry.NewCounter("graphpi_count_queries_total",
+		"Count queries executed to completion or failure, any backend.")
+	mProfiledRuns = telemetry.NewCounter("graphpi_profiled_runs_total",
+		"Count queries that ran with ?profile=1 per-level stats collection.")
+	mQueryLatency = telemetry.NewHistogram("graphpi_query_seconds",
+		"End-to-end count query latency, admission through backend completion.")
 )
 
 // Options configures a Server. Zero values pick sane defaults.
@@ -72,6 +84,13 @@ type Options struct {
 	// KeepFinishedJobs bounds the finished-job history /jobs reports
 	// (default 256).
 	KeepFinishedJobs int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the service
+	// handler. Off by default: the profiler exposes heap contents, so it is
+	// an operator opt-in (-pprof on the CLI), not a public surface.
+	EnablePprof bool
+	// Tracer, if non-nil, receives NDJSON span events for the coarse phases
+	// of every query: plan, compile, run, cluster-deal.
+	Tracer *telemetry.Tracer
 	// Logf, if non-nil, receives lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -144,7 +163,7 @@ func New(opt Options) *Server {
 		graphs:  map[string]*residentGraph{},
 	}
 	if len(opt.ClusterAddrs) > 0 {
-		s.cluster = newClusterBackend(opt.ClusterAddrs, opt.ClusterWorkersPerNode, opt.ClusterJobRetries)
+		s.cluster = newClusterBackend(opt.ClusterAddrs, opt.ClusterWorkersPerNode, opt.ClusterJobRetries, opt.Tracer)
 	}
 	return s
 }
@@ -241,6 +260,7 @@ type queryRequest struct {
 	planner     string    // "" | "graphzero"
 	limit       int64     // enumerate: stop after this many embeddings (0 = all)
 	tier        core.Tier // requested execution tier (local backend only)
+	profile     bool      // collect per-level run stats + drift (?profile=1)
 }
 
 // queryResult is the outcome of a count job (and the trailer of an
@@ -259,6 +279,26 @@ type queryResult struct {
 	Schedule  string  `json:"schedule,omitempty"`
 	Tier      string  `json:"tier,omitempty"`      // execution tier the count ran on
 	Truncated bool    `json:"truncated,omitempty"` // enumerate hit its limit
+
+	// Profile carries the run's collected per-level statistics and the
+	// cost-model drift reconciliation when the request asked for ?profile=1.
+	Profile *ProfileReport `json:"profile,omitempty"`
+}
+
+// ProfileReport is the ?profile=1 payload: what the run actually did at every
+// schedule level, reconciled against what the planner's cost model predicted.
+type ProfileReport struct {
+	// Tier is the execution tier the profiled run used.
+	Tier string `json:"tier"`
+	// Levels holds the merged per-level counters, indexed by schedule
+	// position. Empty on the cluster backend: the wire protocol reduces
+	// counts, not counters, so only predictions are reported there.
+	Levels []telemetry.LevelStats `json:"levels,omitempty"`
+	// Drift reconciles the counters against the cost model (Eq. 6/7). Nil
+	// when the configuration carries no planner statistics.
+	Drift *telemetry.DriftReport `json:"drift,omitempty"`
+	// Note flags reduced payloads (e.g. cluster backend: predictions only).
+	Note string `json:"note,omitempty"`
 }
 
 // plan resolves the cached configuration for (graph, pattern spec, planner),
@@ -344,7 +384,11 @@ func (s *Server) runCount(ctx context.Context, req queryRequest) (*queryResult, 
 	}
 	defer s.admit.release()
 
+	tPlan := time.Now()
 	cfg, planSec, hit, err := s.plan(rg, pat, req.planner)
+	s.opt.Tracer.Span("plan", tPlan, map[string]string{
+		"graph": rg.name, "pattern": pat.String(), "cache": cacheLabel(hit),
+	})
 	if err != nil {
 		s.countFinish(j, 0, err)
 		return nil, err
@@ -353,7 +397,8 @@ func (s *Server) runCount(ctx context.Context, req queryRequest) (*queryResult, 
 	// Worker budget: local jobs draw goroutine slots from the shared pool;
 	// cluster jobs burn remote cores and only hold their run slot here.
 	workers := 0
-	if be == backend(s.local) {
+	local := be == backend(s.local)
+	if local {
 		w, err := s.workers.Acquire(ctx, s.jobBudget(req.workers))
 		if err != nil {
 			s.countFinish(j, 0, err)
@@ -363,10 +408,38 @@ func (s *Server) runCount(ctx context.Context, req queryRequest) (*queryResult, 
 		defer s.workers.Release(w)
 	}
 
+	// Surface the lowering phase as its own span. The compile memo lives on
+	// the cached configuration, so this is real work on the first run of a
+	// plan and a lookup afterwards — the span durations show exactly that.
+	if s.opt.Tracer != nil && local {
+		tComp := time.Now()
+		rt := cfg.ResolveTier(rg.g, req.tier, req.useIEP)
+		if rt != core.TierInterpret {
+			if _, cerr := cfg.CompileTier(rg.g, req.useIEP, rt); cerr != nil {
+				rt = core.TierInterpret // engine will fall back the same way
+			}
+		}
+		s.opt.Tracer.Span("compile", tComp, map[string]string{"tier": rt.String()})
+	}
+
+	// ?profile=1: hand the backend a stats sink. Local runs merge every
+	// worker shard into it; the cluster backend leaves it empty (the wire
+	// reduces counts, not counters) and the profile reports predictions only.
+	var stats *telemetry.RunStats
+	if req.profile {
+		stats = telemetry.NewRunStats(cfg.N())
+		mProfiledRuns.Inc()
+	}
+
 	j.setRunning(be.name(), workers, hit)
 	t0 := time.Now()
-	count, err := be.count(ctx, cfg, rg.g, req.useIEP, workers, req.tier)
+	count, err := be.count(ctx, cfg, rg.g, req.useIEP, workers, req.tier, stats)
 	execSec := time.Since(t0).Seconds()
+	mCountQueries.Inc()
+	mQueryLatency.Observe(time.Since(t0))
+	s.opt.Tracer.Span("run", t0, map[string]string{
+		"graph": rg.name, "pattern": pat.String(), "backend": be.name(),
+	})
 	if err != nil {
 		s.countFinish(j, count, err)
 		return nil, err
@@ -391,10 +464,25 @@ func (s *Server) runCount(ctx context.Context, req queryRequest) (*queryResult, 
 	// actually ran. Because the configuration (and its compiled-plan memo)
 	// lives in the plan cache, a hot /count hit re-enters the compiled
 	// kernel without re-lowering anything.
-	if be == backend(s.local) {
+	if local {
 		res.Tier = cfg.ResolveTier(rg.g, req.tier, req.useIEP).String()
 	} else {
 		res.Tier = core.TierInterpret.String()
+	}
+	if req.profile {
+		p := &ProfileReport{Tier: res.Tier}
+		if local {
+			p.Levels = stats.Levels
+		} else {
+			stats = nil // the wire carried no counters; don't reconcile zeros
+			p.Note = "cluster backend reduces counts, not counters: predictions only"
+		}
+		if d, ok := cfg.DriftReport(req.useIEP, stats); ok {
+			p.Drift = d
+		} else if p.Note == "" {
+			p.Note = "configuration carries no planner statistics; drift unavailable"
+		}
+		res.Profile = p
 	}
 	return res, nil
 }

@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Prometheus text exposition (format version 0.0.4): a minimal writer for
+// the metric shapes GraphPi exports — counters, gauges and the fixed-bucket
+// latency histograms. The companion validator (promcheck.go) is the
+// "promtool check metrics"-style gate CI runs against the live endpoint.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Exposition accumulates metric families and renders them in the Prometheus
+// text format. Families render in the order added; Add* calls with labels
+// group samples under one family.
+type Exposition struct {
+	families []*promFamily
+	byName   map[string]*promFamily
+}
+
+type promFamily struct {
+	name, help, typ string
+	samples         []promSample
+}
+
+type promSample struct {
+	suffix string // "", "_bucket", "_sum", "_count"
+	labels string // pre-rendered {k="v",...} or ""
+	value  float64
+}
+
+// NewExposition creates an empty exposition.
+func NewExposition() *Exposition {
+	return &Exposition{byName: make(map[string]*promFamily)}
+}
+
+func (e *Exposition) family(name, help, typ string) *promFamily {
+	if f, ok := e.byName[name]; ok {
+		return f
+	}
+	f := &promFamily{name: name, help: help, typ: typ}
+	e.byName[name] = f
+	e.families = append(e.families, f)
+	return f
+}
+
+// renderLabels renders a label map deterministically (sorted by key).
+func renderLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// AddCounter adds a counter sample; labels may be nil.
+func (e *Exposition) AddCounter(name, help string, value float64, labels map[string]string) {
+	f := e.family(name, help, "counter")
+	f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: value})
+}
+
+// AddGauge adds a gauge sample; labels may be nil.
+func (e *Exposition) AddGauge(name, help string, value float64, labels map[string]string) {
+	f := e.family(name, help, "gauge")
+	f.samples = append(f.samples, promSample{labels: renderLabels(labels), value: value})
+}
+
+// AddHistogram adds a histogram family from a snapshot: cumulative _bucket
+// series with `le` upper bounds in seconds, a +Inf bucket, _sum and _count.
+func (e *Exposition) AddHistogram(name, help string, s HistogramSnapshot, labels map[string]string) {
+	f := e.family(name, help, "histogram")
+	var cum int64
+	for _, b := range s.Buckets {
+		if b.UpperNS >= int64(1)<<61 {
+			continue // top bucket folds into +Inf below
+		}
+		cum += b.Count
+		l := cloneLabels(labels)
+		l["le"] = formatFloat(float64(b.UpperNS) / 1e9)
+		f.samples = append(f.samples, promSample{suffix: "_bucket", labels: renderLabels(l), value: float64(cum)})
+	}
+	l := cloneLabels(labels)
+	l["le"] = "+Inf"
+	f.samples = append(f.samples, promSample{suffix: "_bucket", labels: renderLabels(l), value: float64(s.Count)})
+	f.samples = append(f.samples, promSample{suffix: "_sum", labels: renderLabels(labels), value: float64(s.SumNS) / 1e9})
+	f.samples = append(f.samples, promSample{suffix: "_count", labels: renderLabels(labels), value: float64(s.Count)})
+}
+
+func cloneLabels(labels map[string]string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// AddGathered appends every metric from a registry Gather pass.
+func (e *Exposition) AddGathered(ms []GatheredMetric) {
+	for _, m := range ms {
+		switch m.Type {
+		case "counter":
+			e.AddCounter(m.Name, m.Help, float64(m.Value), nil)
+		case "gauge":
+			e.AddGauge(m.Name, m.Help, float64(m.Value), nil)
+		case "histogram":
+			e.AddHistogram(m.Name, m.Help, m.Hist, nil)
+		}
+	}
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return formatNum(v)
+}
+
+func formatNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteTo renders the exposition. Families render with their HELP and TYPE
+// headers followed by their samples.
+func (e *Exposition) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, f := range e.families {
+		c, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+		for _, s := range f.samples {
+			c, err := fmt.Fprintf(w, "%s%s%s %s\n", f.name, s.suffix, s.labels, formatFloat(s.value))
+			n += int64(c)
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,326 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// CheckExposition validates a Prometheus text-format payload the way
+// `promtool check metrics` does, restricted to the rules that matter for a
+// scrape to succeed and for the series to be well-formed:
+//
+//   - every line is a comment, blank, or `name[{labels}] value`;
+//   - metric and label names match the Prometheus identifier grammar;
+//   - a TYPE comment precedes the first sample of its family and appears at
+//     most once per family;
+//   - no duplicate samples (same name + label set);
+//   - counters and histogram samples are finite and non-negative;
+//   - histogram families have _bucket series with an `le` label, cumulative
+//     non-decreasing bucket counts, a terminal `+Inf` bucket equal to
+//     _count, and matching _sum/_count samples.
+//
+// It returns nil on a valid payload and a descriptive error otherwise. The
+// service test suite and CI run it against the live /metrics endpoint.
+func CheckExposition(data []byte) error {
+	families := make(map[string]*promFamState)
+	fam := func(name string) *promFamState {
+		f, ok := families[name]
+		if !ok {
+			f = &promFamState{}
+			families[name] = f
+		}
+		return f
+	}
+	type histState struct {
+		lastLe  float64
+		lastCum float64
+		infSeen bool
+		infVal  float64
+		count   float64
+		sawCnt  bool
+		sawSum  bool
+	}
+	hists := make(map[string]*histState) // keyed by base name + non-le labels
+	seen := make(map[string]bool)
+
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			name, typ, ok := parseTypeComment(line)
+			if !ok {
+				continue // HELP and free comments pass through
+			}
+			f := fam(name)
+			if f.typ != "" {
+				return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			if f.sawSample {
+				return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, typ, name)
+			}
+			f.typ = typ
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		key := name + "|" + canonicalLabels(labels)
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate sample %s", lineNo, key)
+		}
+		seen[key] = true
+
+		base, suffix := splitHistSuffix(name)
+		owner := fam(sampleFamily(name, families))
+		owner.sawSample = true
+		typ := owner.typ
+		if typ == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE", lineNo, name)
+		}
+		if typ == "counter" || typ == "histogram" {
+			if math.IsNaN(value) || math.IsInf(value, 0) || value < 0 {
+				return fmt.Errorf("line %d: %s sample %s has non-monotone-compatible value %v", lineNo, typ, name, value)
+			}
+		}
+		if typ != "histogram" {
+			continue
+		}
+		hkey := base + "|" + canonicalLabelsExcept(labels, "le")
+		h, ok := hists[hkey]
+		if !ok {
+			h = &histState{lastLe: math.Inf(-1)}
+			hists[hkey] = h
+		}
+		switch suffix {
+		case "_bucket":
+			le, ok := labels["le"]
+			if !ok {
+				return fmt.Errorf("line %d: histogram bucket %s lacks le label", lineNo, name)
+			}
+			bound, err := parseLe(le)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			if bound <= h.lastLe {
+				return fmt.Errorf("line %d: histogram %s bucket bounds not increasing (le=%s)", lineNo, base, le)
+			}
+			if value < h.lastCum {
+				return fmt.Errorf("line %d: histogram %s bucket counts not cumulative", lineNo, base)
+			}
+			h.lastLe, h.lastCum = bound, value
+			if math.IsInf(bound, 1) {
+				h.infSeen, h.infVal = true, value
+			}
+		case "_sum":
+			h.sawSum = true
+		case "_count":
+			h.sawCnt = true
+			h.count = value
+		default:
+			return fmt.Errorf("line %d: histogram family %s has plain sample %s", lineNo, base, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for key, h := range hists {
+		base := strings.SplitN(key, "|", 2)[0]
+		if !h.infSeen {
+			return fmt.Errorf("histogram %s lacks a +Inf bucket", base)
+		}
+		if !h.sawCnt || !h.sawSum {
+			return fmt.Errorf("histogram %s lacks _sum/_count", base)
+		}
+		if h.infVal != h.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", base, h.infVal, h.count)
+		}
+	}
+	return nil
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// parseTypeComment extracts (name, type) from a `# TYPE name type` line.
+func parseTypeComment(line string) (name, typ string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) >= 4 && fields[0] == "#" && fields[1] == "TYPE" {
+		return fields[2], fields[3], true
+	}
+	return "", "", false
+}
+
+// parseSample splits a sample line into name, labels and value. Timestamps
+// (an optional trailing integer) are accepted and ignored.
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
+	labels = map[string]string{}
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		end := strings.LastIndexByte(rest, '}')
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+		}
+		name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("sample %q malformed", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: %v", line, err)
+	}
+	return name, labels, v, nil
+}
+
+// parseLabels parses `k="v",k2="v2"` into the map.
+func parseLabels(s string, into map[string]string) error {
+	s = strings.TrimSpace(s)
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return fmt.Errorf("label pair %q lacks '='", s)
+		}
+		k := strings.TrimSpace(s[:eq])
+		if !labelNameRe.MatchString(k) {
+			return fmt.Errorf("invalid label name %q", k)
+		}
+		s = strings.TrimSpace(s[eq+1:])
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("label %s value not quoted", k)
+		}
+		// Scan the quoted value honoring backslash escapes.
+		i := 1
+		var val strings.Builder
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				val.WriteByte(s[i+1])
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("label %s value unterminated", k)
+		}
+		if _, dup := into[k]; dup {
+			return fmt.Errorf("duplicate label %s", k)
+		}
+		into[k] = val.String()
+		s = strings.TrimSpace(s[i+1:])
+		s = strings.TrimPrefix(s, ",")
+		s = strings.TrimSpace(s)
+	}
+	return nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLe(s string) (float64, error) {
+	v, err := parseValue(s)
+	if err != nil {
+		return 0, fmt.Errorf("invalid le bound %q", s)
+	}
+	return v, nil
+}
+
+// splitHistSuffix splits a histogram series name into (base, suffix).
+func splitHistSuffix(name string) (base, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf), suf
+		}
+	}
+	return name, ""
+}
+
+// promFamState tracks one metric family while validating an exposition.
+type promFamState struct {
+	typ       string
+	sawSample bool
+}
+
+// sampleFamily resolves the family a sample belongs to: histogram series
+// attach to their base family when one is declared.
+func sampleFamily(name string, families map[string]*promFamState) string {
+	base, suffix := splitHistSuffix(name)
+	if suffix != "" {
+		if f, ok := families[base]; ok && f.typ == "histogram" {
+			return base
+		}
+	}
+	return name
+}
+
+// canonicalLabels renders labels sorted for duplicate detection.
+func canonicalLabels(labels map[string]string) string {
+	return canonicalLabelsExcept(labels, "")
+}
+
+func canonicalLabelsExcept(labels map[string]string, skip string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k == skip {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	// Insertion sort keeps this dependency-free and the label sets tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The named-metric registry: long-lived process-level counters, gauges and
+// histograms, declared once at package level by their owning package
+// (`var mFoo = telemetry.NewCounter(...)`) and gathered by the Prometheus
+// exposition endpoint. The statcheck analyzer (cmd/graphpivet) enforces the
+// declaration convention: literal names, one registration per metric, no
+// dead metrics.
+
+// metricKind labels a registered metric for exposition.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+type registered struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+var (
+	regMu   sync.Mutex
+	regList []registered
+	regSeen = map[string]bool{}
+)
+
+func register(r registered) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if regSeen[r.name] {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", r.name))
+	}
+	regSeen[r.name] = true
+	regList = append(regList, r)
+}
+
+// Counter is a monotonically increasing named metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// NewCounter registers a counter under a unique name. Call once, at package
+// level; registering a name twice panics (it would corrupt exposition).
+func NewCounter(name, help string) *Counter {
+	c := &Counter{}
+	register(registered{name: name, help: help, kind: kindCounter, c: c})
+	return c
+}
+
+// Inc adds 1. Add adds n (n must be ≥ 0 to keep the counter monotone).
+func (c *Counter) Inc()         { c.v.Add(1) }
+func (c *Counter) Add(n int64)  { c.v.Add(n) }
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a named metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge registers a gauge under a unique name (same rules as NewCounter).
+func NewGauge(name, help string) *Gauge {
+	g := &Gauge{}
+	register(registered{name: name, help: help, kind: kindGauge, g: g})
+	return g
+}
+
+// Set stores v; Value reads it.
+func (g *Gauge) Set(v int64)  { g.v.Store(v) }
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NewHistogram registers a latency histogram under a unique name.
+func NewHistogram(name, help string) *Histogram {
+	h := &Histogram{}
+	register(registered{name: name, help: help, kind: kindHistogram, h: h})
+	return h
+}
+
+// GatheredMetric is one registry entry materialized for exposition.
+type GatheredMetric struct {
+	Name string
+	Help string
+	Type string // "counter", "gauge" or "histogram"
+	// Value holds counter/gauge readings; Hist holds histogram snapshots.
+	Value int64
+	Hist  HistogramSnapshot
+}
+
+// Gather snapshots every registered metric, sorted by name.
+func Gather() []GatheredMetric {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]GatheredMetric, 0, len(regList))
+	for _, r := range regList {
+		m := GatheredMetric{Name: r.name, Help: r.help}
+		switch r.kind {
+		case kindCounter:
+			m.Type, m.Value = "counter", r.c.Value()
+		case kindGauge:
+			m.Type, m.Value = "gauge", r.g.Value()
+		case kindHistogram:
+			m.Type, m.Hist = "histogram", r.h.Snapshot()
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
