@@ -1,0 +1,335 @@
+package auxgraph
+
+import (
+	"testing"
+
+	"graphpi/internal/graph"
+	"graphpi/internal/vertexset"
+)
+
+// intersectRef is the reference pruned row: N(v) ∩ S by nested scan.
+func intersectRef(full, members []uint32) []uint32 {
+	inS := make(map[uint32]bool, len(members))
+	for _, u := range members {
+		inS[u] = true
+	}
+	var out []uint32
+	for _, w := range full {
+		if inS[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func TestPlanBudgetDefaults(t *testing.T) {
+	// total <= 0 selects the default budget; with eligible deep steps the
+	// split must hand both sides a nonzero share.
+	s := PlanBudget(0, 100_000, 4, 3)
+	if s.HubBytes <= 0 || s.AuxArenaPerWorker <= 0 {
+		t.Fatalf("default split = %+v, want both shares positive", s)
+	}
+	if s.HubBytes+(s.AuxArenaPerWorker+s.AuxIndexPerWorker)*4 > DefaultViewBudget {
+		t.Fatalf("split %+v exceeds the default budget", s)
+	}
+	if s.AuxIndexPerWorker != 4*100_000 {
+		t.Fatalf("index cost = %d, want 4 bytes per vertex", s.AuxIndexPerWorker)
+	}
+	// Hubs keep the larger share: the aux reserve is capped at total/3.
+	if got := DefaultViewBudget - s.HubBytes; got > DefaultViewBudget/3 {
+		t.Fatalf("aux reserve %d exceeds a third of the budget", got)
+	}
+}
+
+func TestPlanBudgetNoEligibleSteps(t *testing.T) {
+	// A schedule with no aux-capable level sends the whole budget to hubs.
+	s := PlanBudget(10<<20, 1000, 4, 0)
+	if s.HubBytes != 10<<20 || s.AuxArenaPerWorker != 0 {
+		t.Fatalf("deepSteps=0 split = %+v, want all hubs", s)
+	}
+	if s = PlanBudget(10<<20, 0, 4, 3); s.AuxArenaPerWorker != 0 {
+		t.Fatalf("n=0 split = %+v, want all hubs", s)
+	}
+}
+
+func TestPlanBudgetTooSmallForOneLevel(t *testing.T) {
+	// Budget smaller than one worker's index + minimum arena: the aux side
+	// is refused entirely rather than handing out useless slivers.
+	n := 1_000_000 // index alone is 4 MB/worker
+	s := PlanBudget(6<<20, n, 4, 3)
+	if s.AuxArenaPerWorker != 0 {
+		t.Fatalf("starved split = %+v, want aux refused", s)
+	}
+	if s.HubBytes != 6<<20 {
+		t.Fatalf("starved split HubBytes = %d, want the full budget", s.HubBytes)
+	}
+	// Same shape with a tiny absolute budget.
+	if s = PlanBudget(1024, 100, 1, 2); s.AuxArenaPerWorker != 0 || s.HubBytes != 1024 {
+		t.Fatalf("tiny split = %+v, want all hubs", s)
+	}
+}
+
+func TestPlanBudgetDeepStepCap(t *testing.T) {
+	// With a huge budget the arena is capped by deep-step count, and the
+	// unused reserve flows back to hub bitmaps.
+	one := PlanBudget(1<<32, 1000, 1, 1)
+	three := PlanBudget(1<<32, 1000, 1, 3)
+	if one.AuxArenaPerWorker != 4<<20 || three.AuxArenaPerWorker != 12<<20 {
+		t.Fatalf("caps = %d / %d, want 4 MiB per deep step",
+			one.AuxArenaPerWorker, three.AuxArenaPerWorker)
+	}
+	if one.HubBytes <= three.HubBytes {
+		t.Fatal("smaller aux cap should return more budget to hubs")
+	}
+}
+
+func TestPlanBudgetWorkerScaling(t *testing.T) {
+	// The reserve is shared: more workers means less arena each, and
+	// workers < 1 normalizes to 1.
+	a := PlanBudget(30<<20, 1000, 1, 8)
+	b := PlanBudget(30<<20, 1000, 8, 8)
+	if a.AuxArenaPerWorker <= b.AuxArenaPerWorker {
+		t.Fatalf("arena per worker: 1 worker %d, 8 workers %d — want the former larger",
+			a.AuxArenaPerWorker, b.AuxArenaPerWorker)
+	}
+	if got := PlanBudget(30<<20, 1000, 0, 8); got != a {
+		t.Fatalf("workers=0 split %+v, want the workers=1 split %+v", got, a)
+	}
+}
+
+func TestAuxDisabledByZeroBudget(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 4, 1)
+	for _, bytes := range []int64{0, -1, 4 * (minArenaEntries - 1)} {
+		a := New(g, bytes)
+		if a.Enabled() {
+			t.Fatalf("New(%d bytes): Enabled, want disabled", bytes)
+		}
+		a.BeginRoot(0, g.Neighbors(0), nil)
+		if _, ok := a.Row(g.Neighbors(0)[0]); ok {
+			t.Fatalf("New(%d bytes): Row succeeded on disabled scratch", bytes)
+		}
+	}
+	// Nil scratch behaves as disabled too — the engine's fallback contract.
+	var nilAux *Aux
+	if nilAux.Enabled() {
+		t.Fatal("nil Aux reports Enabled")
+	}
+	nilAux.BeginRoot(0, nil, nil)
+	if _, ok := nilAux.Row(0); ok {
+		t.Fatal("nil Aux served a row")
+	}
+	if st := nilAux.Stats(); st != (Stats{}) {
+		t.Fatalf("nil Aux stats = %+v, want zero", st)
+	}
+}
+
+func TestAuxRowsMatchReference(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 6, 9)
+	a := New(g, 1<<20)
+	if !a.Enabled() {
+		t.Fatal("1 MiB arena should enable the scratch")
+	}
+	for root := uint32(0); root < 50; root++ {
+		members := g.Neighbors(root)
+		a.BeginRoot(root, members, nil)
+		for _, v := range members {
+			row, ok := a.Row(v)
+			if !ok {
+				t.Fatalf("root %d: member %d declined with a roomy arena", root, v)
+			}
+			want := intersectRef(g.Neighbors(v), members)
+			if len(row) != len(want) {
+				t.Fatalf("root %d v %d: row len %d, want %d", root, v, len(row), len(want))
+			}
+			for i := range row {
+				if row[i] != want[i] {
+					t.Fatalf("root %d v %d: row[%d] = %d, want %d", root, v, i, row[i], want[i])
+				}
+			}
+		}
+		// Non-members must decline: the caller falls back to the full row.
+		var outsider uint32 = root // root is never its own neighbor (no self loops)
+		if _, ok := a.Row(outsider); ok {
+			t.Fatalf("root %d: non-member %d served a row", root, outsider)
+		}
+	}
+	st := a.Stats()
+	if st.Roots != 50 || st.Rows == 0 || st.Bytes == 0 {
+		t.Fatalf("stats after 50 roots: %+v", st)
+	}
+}
+
+func TestAuxRowsMatchReferenceWithHubBitmap(t *testing.T) {
+	// The bitmap-probe build path must produce the same rows as the
+	// merge-intersection path.
+	g := graph.BarabasiAlbert(300, 6, 9)
+	gh := graph.BarabasiAlbert(300, 6, 9)
+	gh.BuildHubBitmaps(1<<24, 0)
+	if gh.NumHubs() == 0 {
+		t.Fatal("fixture should have hub bitmaps")
+	}
+	plain := New(g, 1<<20)
+	hubbed := New(gh, 1<<20)
+	for root := uint32(0); root < 30; root++ {
+		bm := gh.HubBitmap(root)
+		plain.BeginRoot(root, g.Neighbors(root), nil)
+		hubbed.BeginRoot(root, gh.Neighbors(root), bm)
+		for _, v := range g.Neighbors(root) {
+			pr, pok := plain.Row(v)
+			hr, hok := hubbed.Row(v)
+			if pok != hok || len(pr) != len(hr) {
+				t.Fatalf("root %d v %d: plain (%v,%d) vs bitmap (%v,%d)",
+					root, v, pok, len(pr), hok, len(hr))
+			}
+			for i := range pr {
+				if pr[i] != hr[i] {
+					t.Fatalf("root %d v %d: builds diverge at %d", root, v, i)
+				}
+			}
+		}
+	}
+}
+
+func TestAuxRowReuseAndRootSwitch(t *testing.T) {
+	g := graph.BarabasiAlbert(200, 5, 3)
+	a := New(g, 1<<20)
+	members := g.Neighbors(1)
+	a.BeginRoot(1, members, nil)
+	v := members[0]
+	r1, ok := a.Row(v)
+	if !ok {
+		t.Fatal("first build declined")
+	}
+	builds := a.Stats().Rows
+	r2, ok := a.Row(v)
+	if !ok {
+		t.Fatal("reuse declined")
+	}
+	if &r1[0] != &r2[0] && len(r1) > 0 {
+		t.Fatal("reuse returned a different slice")
+	}
+	if a.Stats().Rows != builds {
+		t.Fatal("reuse rebuilt the row")
+	}
+	if a.Stats().Hits != 1 {
+		t.Fatalf("hits = %d, want 1", a.Stats().Hits)
+	}
+
+	// Same-root BeginRoot is a no-op: rows survive (edge-parallel slot
+	// groups of one root rely on this).
+	a.BeginRoot(1, members, nil)
+	if a.Stats().Roots != 1 {
+		t.Fatal("same-root BeginRoot counted a new root")
+	}
+	if _, ok := a.Row(v); !ok || a.Stats().Hits != 2 {
+		t.Fatalf("row lost across same-root BeginRoot (hits=%d)", a.Stats().Hits)
+	}
+
+	// A new root releases the old membership completely.
+	a.BeginRoot(2, g.Neighbors(2), nil)
+	if a.Stats().Roots != 2 {
+		t.Fatal("root switch not counted")
+	}
+	for _, u := range members {
+		isNew := false
+		for _, w := range g.Neighbors(2) {
+			if w == u {
+				isNew = true
+				break
+			}
+		}
+		if !isNew {
+			if _, ok := a.Row(u); ok {
+				t.Fatalf("stale member %d of root 1 still served after switch", u)
+			}
+		}
+	}
+}
+
+// TestAuxArenaExhaustion drives the scratch with an arena smaller than one
+// root's full row set: overflowing rows must be declined deterministically
+// (marked skipped, counted, and never retried within the root).
+func TestAuxArenaExhaustion(t *testing.T) {
+	g := graph.BarabasiAlbert(400, 12, 5)
+	// Smallest enabled arena: minArenaEntries words.
+	a := New(g, 4*minArenaEntries)
+	if !a.Enabled() {
+		t.Fatal("minimum arena should enable")
+	}
+	// Pick the highest-degree vertex as root so the row demand overflows.
+	root, best := uint32(0), 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := len(g.Neighbors(uint32(v))); d > best {
+			root, best = uint32(v), d
+		}
+	}
+	members := g.Neighbors(root)
+	a.BeginRoot(root, members, nil)
+	served, declined := 0, 0
+	for _, v := range members {
+		if row, ok := a.Row(v); ok {
+			served++
+			want := intersectRef(g.Neighbors(v), members)
+			if len(row) != len(want) {
+				t.Fatalf("served row for %d has len %d, want %d", v, len(row), len(want))
+			}
+		} else {
+			declined++
+			// Declined rows stay declined: the sentinel must not flip back.
+			if _, ok := a.Row(v); ok {
+				t.Fatalf("vertex %d declined then served within one root", v)
+			}
+		}
+	}
+	if declined == 0 {
+		t.Skipf("arena held all %d rows of the densest root; fixture too small", served)
+	}
+	st := a.Stats()
+	if st.Skips == 0 || uint64(4*a.used) != st.Bytes {
+		t.Fatalf("exhaustion stats inconsistent: %+v used=%d", st, a.used)
+	}
+	if a.used > len(a.arena) {
+		t.Fatalf("arena overflow: used %d of %d", a.used, len(a.arena))
+	}
+}
+
+func TestAuxStatsAdd(t *testing.T) {
+	s := Stats{Roots: 1, Rows: 2, Bytes: 3, Hits: 4, Skips: 5}
+	s.Add(Stats{Roots: 10, Rows: 20, Bytes: 30, Hits: 40, Skips: 50})
+	if s != (Stats{Roots: 11, Rows: 22, Bytes: 33, Hits: 44, Skips: 55}) {
+		t.Fatalf("Add = %+v", s)
+	}
+}
+
+// TestAuxBitmapVsMergeCutover pins that both vertexset intersection kernels
+// used by build produce sorted, duplicate-free rows (the arena packing
+// invariant rowOff relies on).
+func TestAuxRowsSorted(t *testing.T) {
+	g := graph.BarabasiAlbert(300, 8, 17)
+	gh := graph.BarabasiAlbert(300, 8, 17)
+	gh.BuildHubBitmaps(1<<24, 0)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		bm   func(v uint32) vertexset.Bitmap
+	}{
+		{"merge", g, func(uint32) vertexset.Bitmap { return nil }},
+		{"bitmap", gh, gh.HubBitmap},
+	} {
+		a := New(tc.g, 1<<20)
+		for root := uint32(0); root < 20; root++ {
+			a.BeginRoot(root, tc.g.Neighbors(root), tc.bm(root))
+			for _, v := range tc.g.Neighbors(root) {
+				row, ok := a.Row(v)
+				if !ok {
+					continue
+				}
+				for i := 1; i < len(row); i++ {
+					if row[i] <= row[i-1] {
+						t.Fatalf("%s root %d v %d: row not strictly sorted at %d", tc.name, root, v, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package costmodel
+
+import "graphpi/internal/schedule"
+
+// Auxiliary-graph build-vs-reuse prediction. Materializing pruned adjacency
+// rows at a schedule level trades a one-time build — one intersection per
+// touched neighbor of the root — against cheaper intersections at every
+// deeper level that can consume pruned rows. Both sides are priced with the
+// same Eq. 6/7 plumbing the planner and the drift reports already use:
+// expected set sizes from (p1, p2) and per-level trip counts from the loop
+// sizes and exact restriction filter probabilities.
+
+// AuxEstimate is the prediction for building auxiliary rows at one level.
+type AuxEstimate struct {
+	// Eligible reports whether any deeper step can consume pruned rows when
+	// the auxiliary graph is built at this level.
+	Eligible bool
+	// BuildCost is the expected per-root cost of materializing the rows the
+	// search touches (lazy build: discounted by the next level's filter).
+	BuildCost float64
+	// ReuseGain is the expected per-root intersection work saved below the
+	// level: for every eligible step execution, the right operand shrinks
+	// from a full row (SetSize(1)) to a pruned one (SetSize(2)).
+	ReuseGain float64
+}
+
+// Worth reports whether the predicted reuse clears the build cost with a
+// margin. The margin absorbs what the model cannot see — arena copies, the
+// index upkeep, rows built but never reused — so the gate only fires when
+// the win is predicted to be structural, not marginal.
+func (e AuxEstimate) Worth() bool {
+	return e.Eligible && e.ReuseGain > auxBuildMargin*e.BuildCost
+}
+
+// auxBuildMargin is the multiplier ReuseGain must clear over BuildCost.
+const auxBuildMargin = 1.5
+
+// EstimateAux prices building the auxiliary graph at level 0 (rows over
+// N(v0), the one build level the engine implements). stepEligible[d][i]
+// reports whether plan.Steps[d][i] may consume pruned rows (computed by the
+// engine from the relabeled pattern and buffer masks); lastDepth is the
+// deepest level whose steps execute (the IEP cut when IEP is active, n-1
+// otherwise). The returned estimate is per root vertex — both sides scale by
+// |V| identically, so the comparison is unaffected.
+func EstimateAux(plan schedule.Plan, n int, stepEligible [][]bool, lastDepth int, posRestrictions [][2]uint8, p Params) AuxEstimate {
+	if n < 3 || lastDepth < 2 {
+		return AuxEstimate{}
+	}
+	b := Estimate(plan, n, posRestrictions, p, GraphPi)
+
+	// Expected executions per root of the steps hoisted to depth d: the
+	// product of surviving trip counts of loops 1..d (loop 0 contributes the
+	// single bound root).
+	execs := 1.0
+	var reuse float64
+	eligible := false
+	for d := 1; d <= lastDepth && d < n; d++ {
+		iters := b.LoopSize[d] * (1 - b.FilterProb[d])
+		if iters < 0 {
+			iters = 0
+		}
+		execs *= iters
+		if d < 2 || d >= len(stepEligible) {
+			continue
+		}
+		for i := range plan.Steps[d] {
+			if i < len(stepEligible[d]) && stepEligible[d][i] {
+				eligible = true
+				// Per execution the right operand shrinks from a full
+				// neighborhood to a root-pruned one; the intersection cost
+				// model (paper: c = |A| + |B|) saves the difference.
+				saving := p.SetSize(1) - p.SetSize(2)
+				if saving > 0 {
+					reuse += execs * saving
+				}
+			}
+		}
+	}
+	if !eligible {
+		return AuxEstimate{}
+	}
+	// Lazy build: only rows the depth-1 window admits are touched, each
+	// costing one full-row intersection against N(v0) (merge: |A| + |B|).
+	rows := b.LoopSize[1] * (1 - b.FilterProb[1])
+	if rows < 0 {
+		rows = 0
+	}
+	build := rows * 2 * p.SetSize(1)
+	return AuxEstimate{Eligible: true, BuildCost: build, ReuseGain: reuse}
+}
